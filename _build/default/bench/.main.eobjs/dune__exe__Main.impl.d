@@ -1,0 +1,1 @@
+bench/main.ml: Array Micro Printf Sys Tables Unix

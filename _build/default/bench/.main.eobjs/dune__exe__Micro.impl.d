@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Dbp Hashtbl Instance List Machine Measure Minic Printf Staged Test Time Toolkit

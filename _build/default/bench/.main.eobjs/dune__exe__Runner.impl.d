@@ -1,0 +1,1 @@
+bench/runner.ml: Dbp Hashtbl Instrument Layout Machine Minic Mrs Printf Session Stats Strategy Workloads

@@ -1,0 +1,1 @@
+bench/stats.ml: List

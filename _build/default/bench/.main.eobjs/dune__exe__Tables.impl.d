@@ -1,0 +1,1 @@
+bench/tables.ml: Dbp Hashtbl Instrument List Loopopt Machine Minic Mrs Printf Region Runner Session Sparc Stats Strategy Workloads Write_type

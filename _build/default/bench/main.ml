@@ -1,0 +1,38 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md section 4 for the experiment
+   index).  Run a single experiment by name, or everything:
+
+     dune exec bench/main.exe [table1|table2|figure3|nops|strategies|
+                               breakeven|readwrite|ablations|micro|all]
+*)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|micro|all]";
+  exit 2
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  (match which with
+  | "table1" -> Tables.table1 ()
+  | "table2" -> Tables.table2 ()
+  | "figure3" -> Tables.figure3 ()
+  | "nops" -> Tables.nops ()
+  | "strategies" -> Tables.strategies ()
+  | "breakeven" -> Tables.breakeven ()
+  | "readwrite" -> Tables.readwrite ()
+  | "ablations" -> Tables.ablations ()
+  | "micro" -> Micro.run ()
+  | "all" ->
+    Tables.table1 ();
+    Tables.figure3 ();
+    Tables.table2 ();
+    Tables.nops ();
+    Tables.strategies ();
+    Tables.breakeven ();
+    Tables.readwrite ();
+    Tables.ablations ();
+    Micro.run ()
+  | _ -> usage ());
+  Printf.printf "\n(total bench time: %.1fs)\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,63 @@
+(* Bechamel microbenchmarks of the MRS runtime data structures
+   themselves (host-native performance, complementing the simulated
+   tables). *)
+
+open Bechamel
+open Toolkit
+
+let segbitmap_ops () =
+  let layout = Dbp.Layout.v () in
+  let mem = Machine.Memory.create () in
+  let bm = Dbp.Segbitmap.create layout mem in
+  let region = Dbp.Region.v ~addr:0x40_0000 ~size_bytes:64 () in
+  Staged.stage (fun () ->
+      Dbp.Segbitmap.add_region bm region;
+      ignore (Dbp.Segbitmap.monitored bm 0x40_0020);
+      Dbp.Segbitmap.remove_region bm region)
+
+let region_set_ops () =
+  let regions =
+    List.init 64 (fun i -> Dbp.Region.v ~addr:(0x40_0000 + (i * 64)) ~size_bytes:16 ())
+  in
+  let set = List.fold_left Dbp.Region.add Dbp.Region.empty regions in
+  Staged.stage (fun () ->
+      ignore (Dbp.Region.find_containing set 0x40_0808);
+      ignore (Dbp.Region.intersects_range set ~lo:0x40_0100 ~hi:0x40_0200))
+
+let simulator_step () =
+  let src = "int main() { int i; for (i = 0; i < 1000; i = i + 1) { } return 0; }" in
+  let linked = Minic.Compile.compile_and_link src in
+  Staged.stage (fun () ->
+      let cpu = Machine.Cpu.create linked.image in
+      Machine.Cpu.install_basic_services cpu;
+      ignore (Machine.Cpu.run cpu))
+
+let run () =
+  let tests =
+    [
+      Test.make ~name:"segbitmap add/query/remove" (segbitmap_ops ());
+      Test.make ~name:"region set lookup" (region_set_ops ());
+      Test.make ~name:"simulate 1k-iteration loop" (simulator_step ());
+    ]
+  in
+  Printf.printf "\n== Host-native microbenchmarks (bechamel) ==\n";
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    Benchmark.all cfg Instance.[ monotonic_clock ] test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-34s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "%-34s (no estimate)\n" name)
+        results)
+    tests

@@ -1,0 +1,73 @@
+open Dbp
+
+(* Run workloads under instrumentation configurations, with caching of
+   uninstrumented baselines. *)
+
+let fuel = 200_000_000
+
+type run = {
+  cycles : int;
+  instrs : int;
+  stores : int;
+  exit_code : int;
+}
+
+let baseline_cache : (string, run) Hashtbl.t = Hashtbl.create 16
+
+let baseline (w : Workloads.Workload.t) : run =
+  match Hashtbl.find_opt baseline_cache w.name with
+  | Some r -> r
+  | None ->
+    let linked = Minic.Compile.compile_and_link w.source in
+    let cpu = Machine.Cpu.create linked.image in
+    Machine.Cpu.install_basic_services cpu;
+    let exit_code = Machine.Cpu.run ~fuel cpu in
+    (match w.expected_exit with
+    | Some e when e <> exit_code ->
+      failwith (Printf.sprintf "%s: baseline exit %d <> expected %d" w.name exit_code e)
+    | _ -> ());
+    let s = Machine.Cpu.stats cpu in
+    let r =
+      { cycles = s.Machine.Cpu.cycles; instrs = s.Machine.Cpu.instrs;
+        stores = s.Machine.Cpu.stores; exit_code }
+    in
+    Hashtbl.replace baseline_cache w.name r;
+    r
+
+let options_for (w : Workloads.Workload.t) ?(opt = Instrument.O0)
+    ?(check_aliases = false) ?(nop_padding = 0) ?(seg_bits = Layout.default_seg_bits)
+    ?(monitor_reads = false) ?(disabled_guard = true) ?(single_cache = false)
+    strategy =
+  {
+    Instrument.strategy;
+    opt;
+    check_aliases;
+    layout = Layout.v ~seg_bits ();
+    fortran_idiom = Workloads.Workload.fortran_idiom w;
+    instrument_runtime = true;
+    nop_padding;
+    exclude = w.library_functions;
+    monitor_reads;
+    disabled_guard;
+    single_cache;
+  }
+
+(* Run instrumented; [enable] turns monitoring on with no regions (the
+   monitor-miss steady state Table 1 measures). *)
+let instrumented ?(enable = true) options (w : Workloads.Workload.t) :
+    run * Session.t =
+  let session = Session.create ~options w.source in
+  if enable then Mrs.enable session.Session.mrs;
+  let exit_code, _ = Session.run ~fuel session in
+  (match w.expected_exit with
+  | Some e when e <> exit_code ->
+    failwith
+      (Printf.sprintf "%s under %s: exit %d <> expected %d" w.name
+         (Strategy.to_string options.Instrument.strategy) exit_code e)
+  | _ -> ());
+  let s = Session.stats session in
+  ( { cycles = s.Machine.Cpu.cycles; instrs = s.Machine.Cpu.instrs;
+      stores = s.Machine.Cpu.stores; exit_code },
+    session )
+
+let overhead (w : Workloads.Workload.t) run = Stats.pct (baseline w).cycles run.cycles

@@ -1,0 +1,30 @@
+(* Small statistics helpers for the harness. *)
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Least-squares fit y = a + b x; returns (a, b, residual stddev). *)
+let linreg points =
+  let n = float_of_int (List.length points) in
+  if n < 2.0 then (0.0, 0.0, 0.0)
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-9 then (0.0, 0.0, 0.0)
+    else begin
+      let b = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let a = (sy -. (b *. sx)) /. n in
+      let residuals =
+        List.map (fun (x, y) -> y -. (a +. (b *. x))) points
+      in
+      let var = mean (List.map (fun r -> r *. r) residuals) in
+      (a, b, sqrt var)
+    end
+  end
+
+let pct base v = 100.0 *. (float_of_int v /. float_of_int base -. 1.0)

@@ -1,0 +1,170 @@
+(* dbreak — command-line front end to the data-breakpoint system.
+
+   Compiles a mini-C source file, instruments its writes with the
+   chosen strategy and optimization level, runs it under the monitored
+   region service, and reports every update of the watched variables.
+
+   Examples:
+     dbreak program.mc --watch counter
+     dbreak program.mc --watch cfg.max_depth --opt full --strategy Cache
+     dbreak program.mc --dump-asm
+     dbreak program.mc --stats *)
+
+open Cmdliner
+open Dbp
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let strategy_conv =
+  let parse s =
+    try Ok (Strategy.of_string s)
+    with Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf s -> Strategy.pp ppf s)
+
+let opt_conv =
+  let parse = function
+    | "none" | "0" -> Ok Instrument.O0
+    | "symbol" | "sym" -> Ok Instrument.O_symbol
+    | "full" | "loop" -> Ok Instrument.O_full
+    | s -> Error (`Msg (Printf.sprintf "unknown optimization level %S" s))
+  in
+  let print ppf = function
+    | Instrument.O0 -> Fmt.string ppf "none"
+    | Instrument.O_symbol -> Fmt.string ppf "symbol"
+    | Instrument.O_full -> Fmt.string ppf "full"
+  in
+  Arg.conv (parse, print)
+
+let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_asm
+    stats fuel =
+  try
+    let source = read_file source_file in
+    let options =
+      { Instrument.default_options with strategy; opt; check_aliases;
+        monitor_reads }
+    in
+    if dump_asm then begin
+      let out = Minic.Compile.compile source in
+      let plan = Instrument.run options out in
+      print_string (Sparc.Printer.program_to_string plan.Instrument.program);
+      `Ok ()
+    end
+    else begin
+      let session = Session.create ~options source in
+      Session.install_oracle session;
+      let dbg = Debugger.create session in
+      List.iter
+        (fun spec ->
+          match String.index_opt spec '.' with
+          | Some i ->
+            let s = String.sub spec 0 i in
+            let f = String.sub spec (i + 1) (String.length spec - i - 1) in
+            ignore (Debugger.watch_field dbg s f)
+          | None -> ignore (Debugger.watch dbg spec))
+        watches;
+      if watches = [] then Mrs.enable session.Session.mrs;
+      Debugger.set_on_event dbg (fun e ->
+          Printf.printf "%-20s %s %-10d in %s (pc 0x%x)\n"
+            e.Debugger.watch.Debugger.wname
+            (match e.Debugger.access with Mrs.Write -> "<-" | Mrs.Read -> "->")
+            e.Debugger.value
+            (Option.value ~default:"?" e.Debugger.in_function)
+            e.Debugger.pc);
+      let code, output = Session.run ~fuel session in
+      if output <> "" then Printf.printf "--- program output ---\n%s\n" output;
+      Printf.printf "--- exited with %d ---\n" code;
+      if stats then begin
+        let s = Session.stats session in
+        let c = Mrs.counters session.Session.mrs in
+        Printf.printf "instructions: %d\ncycles:       %d\nstores:       %d\n"
+          s.Machine.Cpu.instrs s.Machine.Cpu.cycles s.Machine.Cpu.stores;
+        Printf.printf "checked write executions:    %d\n"
+          (Session.total_site_executions session
+          - Session.eliminated_site_executions session);
+        Printf.printf "eliminated write executions: %d\n"
+          (Session.eliminated_site_executions session);
+        Printf.printf "monitor hits: %d user, %d internal\n" c.Mrs.user_hits
+          c.Mrs.internal_hits;
+        Printf.printf "pre-header checks: %d (%d triggered)\n" c.Mrs.loop_entries
+          c.Mrs.loop_triggers;
+        Printf.printf "patches inserted: %d\n" c.Mrs.patches_inserted;
+        Printf.printf "missed hits (oracle): %d\n" (Session.missed_hits session)
+      end;
+      `Ok ()
+    end
+  with
+  | Sys_error m -> `Error (false, m)
+  | Minic.Compile.Error e ->
+    `Error (false, Printf.sprintf "%s error: %s" e.Minic.Compile.phase e.message)
+  | Machine.Cpu.Fault { pc; reason } ->
+    `Error (false, Printf.sprintf "machine fault at 0x%x: %s" pc reason)
+  | Machine.Cpu.Out_of_fuel { executed } ->
+    `Error (false, Printf.sprintf "out of fuel after %d instructions" executed)
+  | Debugger.No_such_variable v ->
+    `Error (false, Printf.sprintf "no such variable: %s" v)
+
+let source_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.mc"
+       ~doc:"Mini-C source file to debug.")
+
+let watch_arg =
+  Arg.(value & opt_all string [] & info [ "w"; "watch" ] ~docv:"VAR[.FIELD]"
+       ~doc:"Set a data breakpoint on a global variable or struct field. \
+             Repeatable.")
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Strategy.Bitmap_inline_registers
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Write-check strategy: Bitmap, BitmapInline, \
+                 BitmapInlineRegisters, Cache, CacheInline, HashTable, \
+                 TrapCheck, HardwareWatch1, HardwareWatch4, none.")
+
+let opt_arg =
+  Arg.(value & opt opt_conv Instrument.O0 & info [ "O"; "opt" ] ~docv:"LEVEL"
+       ~doc:"Check elimination: none, symbol, or full (symbol + loop).")
+
+let reads_arg =
+  Arg.(value & flag & info [ "reads" ]
+       ~doc:"Also monitor read instructions (the paper's sec 5 extension).")
+
+let aliases_arg =
+  Arg.(value & flag & info [ "check-aliases" ]
+       ~doc:"Guard loop-optimized checks with alias regions (sec 4.5).")
+
+let dump_asm_arg =
+  Arg.(value & flag & info [ "dump-asm" ]
+       ~doc:"Print the instrumented assembly instead of running.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+
+let fuel_arg =
+  Arg.(value & opt int 500_000_000 & info [ "fuel" ] ~docv:"N"
+       ~doc:"Instruction budget before giving up.")
+
+let cmd =
+  let doc = "practical data breakpoints for mini-C programs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compiles a mini-C program with a naive debug compiler, patches a \
+         write check after every store instruction (Wahbe, Lucco & Graham, \
+         PLDI 1993), and runs it on a cycle-counting SPARC-subset \
+         simulator.  Each update of a watched variable is reported with \
+         the writing function, including writes through pointers.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "dbreak" ~version:"1.0" ~doc ~man)
+    Term.(
+      ret
+        (const run_cmd $ source_arg $ watch_arg $ strategy_arg $ opt_arg
+        $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ fuel_arg))
+
+let () = exit (Cmd.eval cmd)

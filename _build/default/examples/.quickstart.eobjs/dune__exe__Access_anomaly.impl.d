@@ -1,0 +1,1 @@
+examples/access_anomaly.ml: Dbp Debugger Hashtbl Instrument List Mrs Option Printf Session Sparc

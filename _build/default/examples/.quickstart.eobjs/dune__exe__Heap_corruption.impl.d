@@ -1,0 +1,1 @@
+examples/heap_corruption.ml: Dbp Debugger List Machine Option Printf Session

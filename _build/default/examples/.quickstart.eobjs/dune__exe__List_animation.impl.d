@@ -1,0 +1,1 @@
+examples/list_animation.ml: Buffer Dbp Debugger Hashtbl Machine Option Printf Session Sparc

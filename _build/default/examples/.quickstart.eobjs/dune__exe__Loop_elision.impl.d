@@ -1,0 +1,1 @@
+examples/loop_elision.ml: Dbp Fmt Instrument Ir List Loopopt Mrs Printf Session Write_type

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dbp Debugger Machine Mrs Option Printf Session

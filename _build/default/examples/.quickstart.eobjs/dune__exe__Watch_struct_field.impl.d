@@ -1,0 +1,1 @@
+examples/watch_struct_field.ml: Dbp Debugger Machine Mrs Option Printf Session

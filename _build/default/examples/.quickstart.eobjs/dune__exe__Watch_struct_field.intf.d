@@ -1,0 +1,1 @@
+examples/watch_struct_field.mli:

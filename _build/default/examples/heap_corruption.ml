@@ -1,0 +1,84 @@
+(* Fault isolation (§5): protect the memory allocator's metadata from
+   the rest of the program.
+
+   The buggy program writes one element past the end of a heap block,
+   smashing the size header of the next block — the classic corruption
+   that normally surfaces thousands of instructions later inside the
+   allocator.  Data breakpoints on the free-list head and on the
+   neighbouring block header catch the stray write the moment it
+   happens and name the function that did it.
+
+   Run with:  dune exec examples/heap_corruption.exe *)
+
+open Dbp
+
+let program = {|
+int result;
+
+int fill(int *buf, int n) {
+  int i;
+  /* BUG: writes buf[0..n] inclusive — one word too many. */
+  for (i = 0; i <= n; i = i + 1) {
+    buf[i] = 1000 + i;
+  }
+  return 0;
+}
+
+int sum(int *buf, int n) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + buf[i]; }
+  return s;
+}
+
+int main() {
+  int *a;
+  int *b;
+  a = malloc(28);   /* 7 words + 1 header word = exactly 32 bytes */
+  b = malloc(28);
+  fill(a, 7);       /* clobbers the size header of b's block */
+  result = sum(a, 7) + sum(b, 7);
+  free(b);          /* the allocator now traverses poisoned metadata */
+  free(a);
+  return result & 255;
+}
+|}
+
+let () =
+  let session = Session.create program in
+  let dbg = Debugger.create session in
+
+  (* Watch the allocator's free-list head: only malloc and free are
+     legitimate writers. *)
+  let freelist = Debugger.watch dbg "__free_list" in
+  Debugger.restrict_writers dbg freelist ~writers:[ "malloc"; "free" ];
+
+  (* The first block is carved at the initial heap break, so the second
+     block's header lands exactly 32 bytes later; put it under the same
+     policy.  (A real debugger would arm this from a breakpoint on
+     malloc's return.) *)
+  let brk0 = Machine.Cpu.brk session.Session.cpu in
+  let hdr =
+    Debugger.watch_addr dbg ~name:"b-block-header" ~addr:(brk0 + 32) ~size_bytes:4 ()
+  in
+  Debugger.restrict_writers dbg hdr ~writers:[ "malloc"; "free" ];
+
+  let exit_code, _ = Session.run session in
+  Printf.printf "program exited with %d\n\n" exit_code;
+  List.iter
+    (fun (e : Debugger.event) ->
+      Printf.printf "write to %-16s by %-8s (pc 0x%x)\n" e.watch.Debugger.wname
+        (Option.value ~default:"?" e.in_function)
+        e.pc)
+    (Debugger.events dbg);
+  print_newline ();
+  match Debugger.violations dbg with
+  | [] -> print_endline "no violations (bug fixed?)"
+  | vs ->
+    List.iter
+      (fun (what, who) ->
+        Printf.printf "VIOLATION: %s written by %s — not an allowed writer!\n"
+          what
+          (Option.value ~default:"<unknown>" who))
+      vs

@@ -1,0 +1,109 @@
+(* Data-structure animation (§5): redraw a linked list every time it
+   changes, without instrumenting the program with print statements —
+   a data breakpoint on the list head plus watches on the cells makes
+   the structure narrate its own evolution.
+
+   Run with:  dune exec examples/list_animation.exe *)
+
+open Dbp
+
+let program = {|
+struct node { int v; struct node *next; };
+
+struct node *head_ptr;
+
+int push(int v) {
+  struct node *n;
+  n = malloc(8);
+  n->v = v;
+  n->next = head_ptr;
+  head_ptr = n;
+  return 0;
+}
+
+int pop() {
+  struct node *n;
+  int v;
+  if (head_ptr == 0) { return -1; }
+  n = head_ptr;
+  head_ptr = n->next;
+  v = n->v;
+  free(n);
+  return v;
+}
+
+/* In-place reversal: the classic pointer shuffle worth animating. */
+int reverse() {
+  struct node *prev;
+  struct node *cur;
+  struct node *nxt;
+  prev = 0;
+  cur = head_ptr;
+  while (cur != 0) {
+    nxt = cur->next;
+    cur->next = prev;
+    prev = cur;
+    cur = nxt;
+  }
+  head_ptr = prev;
+  return 0;
+}
+
+int main() {
+  push(1); push(2); push(3);
+  reverse();
+  pop();
+  push(9);
+  return pop();
+}
+|}
+
+let () =
+  let session = Session.create program in
+  let dbg = Debugger.create session in
+  let mem = Machine.Cpu.mem session.Session.cpu in
+
+  (* Render the list by walking simulated memory from head_ptr. *)
+  let head_addr =
+    match Sparc.Symtab.lookup session.Session.symtab "head_ptr" with
+    | Some { Sparc.Symtab.location = Sparc.Symtab.Absolute a; _ } -> a
+    | _ -> failwith "no head_ptr"
+  in
+  let render () =
+    let buf = Buffer.create 64 in
+    let rec walk p n =
+      if p = 0 then Buffer.add_string buf "·"
+      else if n > 8 then Buffer.add_string buf "..."
+      else begin
+        Buffer.add_string buf (Printf.sprintf "%d → " (Machine.Memory.read_word mem p));
+        walk (Machine.Memory.read_word mem (p + 4)) (n + 1)
+      end
+    in
+    walk (Machine.Memory.read_word mem head_addr) 0;
+    Buffer.contents buf
+  in
+
+  (* Animate on every change of the head or of any live cell.  Cells
+     are discovered as they are linked in. *)
+  let watched_cells = Hashtbl.create 8 in
+  let animate (e : Debugger.event) =
+    Printf.printf "%-28s (%s wrote %s)\n" (render ())
+      (Option.value ~default:"?" e.Debugger.in_function)
+      e.Debugger.watch.Debugger.wname;
+    (* Follow the structure: watch any newly reachable cell. *)
+    let rec discover p n =
+      if p <> 0 && n < 16 && not (Hashtbl.mem watched_cells p) then begin
+        Hashtbl.replace watched_cells p ();
+        ignore
+          (Debugger.watch_addr dbg ~name:(Printf.sprintf "cell@0x%x" p) ~addr:p
+             ~size_bytes:8 ());
+        discover (Machine.Memory.read_word mem (p + 4)) (n + 1)
+      end
+    in
+    discover (Machine.Memory.read_word mem head_addr) 0
+  in
+  ignore (Debugger.watch dbg "head_ptr");
+  Debugger.set_on_event dbg animate;
+
+  let exit_code, _ = Session.run session in
+  Printf.printf "\nfinal pop() = %d\n" exit_code

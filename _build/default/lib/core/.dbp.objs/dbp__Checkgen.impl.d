@@ -1,0 +1,1 @@
+lib/core/checkgen.ml: Asm Cond Insn Layout List Printf Reg Sparc Strategy Traps Write_type

@@ -1,0 +1,1 @@
+lib/core/checkgen.mli: Layout Sparc Strategy Write_type

@@ -1,0 +1,1 @@
+lib/core/debugger.ml: Assembler Hashtbl Instrument List Machine Mrs Option Region Session Sparc Symtab

@@ -1,0 +1,1 @@
+lib/core/debugger.mli: Machine Mrs Region Session

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Array Asm Checkgen Cond Hashtbl Insn Ir Layout List Loopopt Minic Option Printf Reg Sparc Strategy Symopt Traps Write_type

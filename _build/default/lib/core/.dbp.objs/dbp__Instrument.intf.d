@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Layout Loopopt Minic Sparc Strategy Write_type

@@ -1,0 +1,1 @@
+lib/core/loopopt.ml: Hashtbl Ir List Sparc

@@ -1,0 +1,1 @@
+lib/core/loopopt.mli: Ir Sparc

@@ -1,0 +1,1 @@
+lib/core/mrs.ml: Assembler Cond Cpu Hashtbl Insn Instrument Ir Layout List Loopopt Machine Memory Option Reg Region Segbitmap Sparc Strategy String Symtab Traps Word Write_type

@@ -1,0 +1,1 @@
+lib/core/mrs.mli: Instrument Ir Machine Region Sparc

@@ -1,0 +1,1 @@
+lib/core/region.ml: Fmt Int List Map Sparc

@@ -1,0 +1,1 @@
+lib/core/segbitmap.ml: Hashtbl Layout Machine Memory Option Region Sparc

@@ -1,0 +1,1 @@
+lib/core/segbitmap.mli: Layout Machine Region

@@ -1,0 +1,1 @@
+lib/core/session.ml: Assembler Cpu Hashtbl Insn Instrument List Machine Minic Mrs Region Sparc Symtab

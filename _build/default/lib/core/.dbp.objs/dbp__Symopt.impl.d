@@ -1,0 +1,1 @@
+lib/core/symopt.ml: Hashtbl Insn Ir List Option Reg Set Sparc String Symtab

@@ -1,0 +1,1 @@
+lib/core/symopt.mli: Ir Set Sparc

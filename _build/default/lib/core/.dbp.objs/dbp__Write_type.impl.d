@@ -1,0 +1,1 @@
+lib/core/write_type.ml: Array Asm Fmt Insn List Reg Sparc

@@ -1,0 +1,1 @@
+lib/core/write_type.mli: Format Sparc

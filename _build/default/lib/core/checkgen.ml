@@ -1,0 +1,399 @@
+open Sparc
+
+(* Generation of write-check code (§3).
+
+   Register contract (see DESIGN.md):
+   - %g5 target address, %g6 disabled flag, %g7 check-in-progress;
+   - %g1-%g4: segment caches (Cache strategies) or lookup temporaries +
+     table base (BitmapInlineRegisters);
+   - %o3-%o5: dead at every compiled store site, used as inline
+     temporaries by the cache test and by the "unreserved" variants
+     after spilling them (Bitmap_inline plays by no-reserved-register
+     rules: it spills and rematerializes the table base each check). *)
+
+type env = {
+  layout : Layout.t;
+  strategy : Strategy.t;
+  disabled_guard : bool;
+      (* ablation: emit checks without the branch-around-when-disabled
+         guard of §2.1 *)
+  single_cache : bool;
+      (* ablation: one shared segment cache instead of §3.1's four
+         per-write-type caches *)
+  mutable counter : int;
+}
+
+let make_env ?(disabled_guard = true) ?(single_cache = false) ~layout ~strategy
+    () =
+  { layout; strategy; disabled_guard; single_cache; counter = 0 }
+
+let fresh env tag =
+  env.counter <- env.counter + 1;
+  Printf.sprintf ".Ldbp_%s%d" tag env.counter
+
+let g5 = Reg.g 5
+let g6 = Reg.g 6
+let g7 = Reg.g 7
+let table_base_reg = Reg.g 4
+
+let o3 = Reg.o 3
+let o4 = Reg.o 4
+let o5 = Reg.o 5
+
+let i insn = Asm.Insn insn
+
+let cache_miss_routine write_type =
+  let tag =
+    match (write_type : Write_type.t) with
+    | Write_type.Bss -> "bss"
+    | Write_type.Stack -> "stack"
+    | Write_type.Heap -> "heap"
+    | Write_type.Bss_var -> "bss_var"
+  in
+  "__dbp_cache_miss_" ^ tag
+
+(* Recompute the store's effective address into %g5.  The store's
+   source registers are still live immediately after it executes, and
+   checks are placed after the write (§2.1). *)
+let address_items (st : Insn.t) ~word =
+  match st with
+  | Insn.St { rs1; off; _ } ->
+    let base = [ i (Asm.add rs1 off g5) ] in
+    if word = 0 then base else base @ [ i (Asm.add g5 (Insn.Imm (4 * word)) g5) ]
+  | _ -> invalid_arg "Checkgen.address_items: not a store"
+
+(* The core segmented-bitmap lookup (§3): with the target address in
+   %g5 and the segment table base in [base], falls through to a
+   monitor-hit trap or branches to [miss_label].  Twelve register
+   instructions and two loads on the full path.  The three temporaries
+   are reused so three registers suffice. *)
+let lookup_body ?(hit_trap = Traps.monitor_hit) env ~base ~t1 ~t2 ~t3 ~miss_label =
+  let sb = env.layout.Layout.seg_bits in
+  let seg_words = Layout.segment_words env.layout in
+  [
+    i (Asm.srl g5 (Insn.Imm sb) t1);
+    i (Asm.sll t1 (Insn.Imm 2) t1);
+    i (Asm.ld base (Insn.Reg t1) t2);
+    i (Asm.and_ ~cc:true t2 (Insn.Imm 1) Reg.g0);
+    i (Asm.branch Cond.E miss_label);
+    i (Asm.srl g5 (Insn.Imm 2) t3);
+    i (Asm.and_ t3 (Insn.Imm (seg_words - 1)) t3);
+    i (Asm.srl t3 (Insn.Imm 5) t1);
+    i (Asm.sll t1 (Insn.Imm 2) t1);
+    i (Asm.alu Insn.Andn t2 (Insn.Imm 1) t2);
+    i (Asm.ld t2 (Insn.Reg t1) t2);
+    i (Asm.and_ t3 (Insn.Imm 31) t3);
+    i (Asm.srl t2 (Insn.Reg t3) t2);
+    i (Asm.and_ ~cc:true t2 (Insn.Imm 1) Reg.g0);
+    i (Asm.branch Cond.E miss_label);
+    i (Asm.trap hit_trap);
+  ]
+
+let disabled_guard env skip =
+  if env.disabled_guard then [ i (Asm.tst g6); i (Asm.branch Cond.Ne skip) ]
+  else []
+
+let cache_reg_for env write_type =
+  if env.single_cache then Reg.g 1 else Write_type.cache_reg write_type
+
+(* One check body (for one word of the store's footprint). *)
+let body_for_word env ~write_type ~skip =
+  match env.strategy with
+  | Strategy.Nocheck | Strategy.Hardware_watch _ -> []
+  | Strategy.Trap_check -> [ i (Asm.trap Traps.trap_check) ]
+  | Strategy.Bitmap -> [ i (Asm.call "__dbp_check_word"); i Asm.nop ]
+  | Strategy.Hash_table -> [ i (Asm.call "__dbp_hash_check"); i Asm.nop ]
+  | Strategy.Bitmap_inline ->
+    (* No reserved registers: spill three temporaries below the stack
+       pointer and rematerialize the table base. *)
+    let reload = fresh env "reload" in
+    [
+      i (Asm.st o3 Reg.sp (Insn.Imm (-4)));
+      i (Asm.st o4 Reg.sp (Insn.Imm (-8)));
+      i (Asm.st o5 Reg.sp (Insn.Imm (-12)));
+    ]
+    @ List.map i (Asm.set env.layout.Layout.table_base o3)
+    @ lookup_body env ~base:o3 ~t1:o4 ~t2:o5 ~t3:o3 ~miss_label:reload
+    @ [
+        Asm.Label reload;
+        i (Asm.ld Reg.sp (Insn.Imm (-4)) o3);
+        i (Asm.ld Reg.sp (Insn.Imm (-8)) o4);
+        i (Asm.ld Reg.sp (Insn.Imm (-12)) o5);
+      ]
+  | Strategy.Bitmap_inline_registers ->
+    lookup_body env ~base:table_base_reg ~t1:(Reg.g 1) ~t2:(Reg.g 2)
+      ~t3:(Reg.g 3) ~miss_label:skip
+  | Strategy.Cache ->
+    let creg = cache_reg_for env write_type in
+    [
+      i (Asm.srl g5 (Insn.Imm env.layout.Layout.seg_bits) o3);
+      i (Asm.cmp o3 (Insn.Reg creg));
+      i (Asm.branch Cond.E skip);
+      i (Asm.call (cache_miss_routine write_type));
+      i Asm.nop;
+    ]
+  | Strategy.Cache_inline ->
+    let creg = cache_reg_for env write_type in
+    let full = fresh env "full" in
+    let sb = env.layout.Layout.seg_bits in
+    let seg_words = Layout.segment_words env.layout in
+    [
+      i (Asm.srl g5 (Insn.Imm sb) o3);
+      i (Asm.cmp o3 (Insn.Reg creg));
+      i (Asm.branch Cond.E skip);
+      (* Cache miss: consult the unmonitored flag. *)
+      i (Asm.sll o3 (Insn.Imm 2) o4);
+    ]
+    @ List.map i (Asm.set env.layout.Layout.table_base o5)
+    @ [
+        i (Asm.ld o5 (Insn.Reg o4) o4);
+        i (Asm.and_ ~cc:true o4 (Insn.Imm 1) Reg.g0);
+        i (Asm.branch Cond.Ne full);
+        (* Unmonitored: install in the cache (§3.1's algorithm — the
+           cache is only updated on a miss to an unmonitored segment). *)
+        i (Asm.mov (Insn.Reg o3) creg);
+        i (Asm.ba skip);
+        Asm.Label full;
+        i (Asm.srl g5 (Insn.Imm 2) o5);
+        i (Asm.and_ o5 (Insn.Imm (seg_words - 1)) o5);
+        i (Asm.srl o5 (Insn.Imm 5) o3);
+        i (Asm.sll o3 (Insn.Imm 2) o3);
+        i (Asm.alu Insn.Andn o4 (Insn.Imm 1) o4);
+        i (Asm.ld o4 (Insn.Reg o3) o4);
+        i (Asm.and_ o5 (Insn.Imm 31) o5);
+        i (Asm.srl o4 (Insn.Reg o5) o4);
+        i (Asm.and_ ~cc:true o4 (Insn.Imm 1) Reg.g0);
+        i (Asm.branch Cond.E skip);
+        i (Asm.trap Traps.monitor_hit);
+      ]
+
+(* The full check sequence for a store instruction: disabled-flag
+   guard, address computation, strategy body — once per word written. *)
+let check_items env ~write_type (st : Insn.t) : Asm.item list =
+  match env.strategy with
+  | Strategy.Nocheck | Strategy.Hardware_watch _ -> []
+  | _ ->
+    let words =
+      match st with
+      | Insn.St { width = Insn.Double; _ } -> [ 0; 1 ]
+      | Insn.St _ -> [ 0 ]
+      | _ -> invalid_arg "Checkgen.check_items: not a store"
+    in
+    let skip = fresh env "skip" in
+    disabled_guard env skip
+    @ List.concat_map
+        (fun w -> address_items st ~word:w @ body_for_word env ~write_type ~skip)
+        words
+    @ [ Asm.Label skip ]
+
+(* Read checks (the §5 extension) run BEFORE the load — a read cannot
+   corrupt state, and the destination register may alias the base, so
+   post-checking would lose the address.  They clobber no compiled-code
+   scratch registers: the address lives in %g5 and the lookup happens in
+   a called routine's fresh window (for the inline-register strategy the
+   reserved %g1-%g3 are used as usual; for the cache strategies the
+   cache test sacrifices %g5 and recomputes the address on a miss). *)
+let read_check_items env ~write_type (ld : Insn.t) : Asm.item list =
+  match env.strategy with
+  | Strategy.Nocheck | Strategy.Hardware_watch _ -> []
+  | _ ->
+    let rs1, off =
+      match ld with
+      | Insn.Ld { rs1; off; _ } -> (rs1, off)
+      | _ -> invalid_arg "Checkgen.read_check_items: not a load"
+    in
+    let addr = [ i (Asm.add rs1 off g5) ] in
+    let skip = fresh env "rskip" in
+    let body =
+      match env.strategy with
+      | Strategy.Nocheck | Strategy.Hardware_watch _ -> []
+      | Strategy.Trap_check -> addr @ [ i (Asm.trap Traps.trap_check) ]
+      | Strategy.Bitmap | Strategy.Bitmap_inline ->
+        addr @ [ i (Asm.call "__dbp_check_word_rd"); i Asm.nop ]
+      | Strategy.Bitmap_inline_registers ->
+        addr
+        @ lookup_body ~hit_trap:Traps.read_hit env ~base:table_base_reg
+            ~t1:(Reg.g 1) ~t2:(Reg.g 2) ~t3:(Reg.g 3) ~miss_label:skip
+      | Strategy.Hash_table ->
+        addr @ [ i (Asm.call "__dbp_hash_check_rd"); i Asm.nop ]
+      | Strategy.Cache | Strategy.Cache_inline ->
+        let creg = cache_reg_for env write_type in
+        addr
+        @ [
+            i (Asm.srl g5 (Insn.Imm env.layout.Layout.seg_bits) g5);
+            i (Asm.cmp g5 (Insn.Reg creg));
+            i (Asm.branch Cond.E skip);
+          ]
+        @ addr
+        @ [ i (Asm.call (cache_miss_routine write_type ^ "_rd")); i Asm.nop ]
+    in
+    disabled_guard env skip @ body @ [ Asm.Label skip ]
+
+(* --- monitor library --------------------------------------------------------- *)
+
+(* Call-based routines, emitted once per program.  Each pushes a
+   register window (that cost is the point of the reserved-register
+   comparison), raises the check-in-progress flag (§2.1) and uses
+   window locals as lookup temporaries. *)
+
+let routine_check_word ?(suffix = "") ?hit_trap env =
+  let miss = fresh env "cw_miss" in
+  [ Asm.Label ("__dbp_check_word" ^ suffix); i (Asm.save 96); i (Asm.mov (Insn.Imm 1) g7) ]
+  @ List.map i (Asm.set env.layout.Layout.table_base (Reg.l 0))
+  @ lookup_body ?hit_trap env ~base:(Reg.l 0) ~t1:(Reg.l 1) ~t2:(Reg.l 2) ~t3:(Reg.l 3)
+      ~miss_label:miss
+  @ [
+      Asm.Label miss;
+      i (Asm.mov (Insn.Imm 0) g7);
+      i Asm.restore;
+      i Asm.retl;
+    ]
+
+let routine_cache_miss ?(suffix = "") ?hit_trap env write_type =
+  let creg = cache_reg_for env write_type in
+  let name = cache_miss_routine write_type ^ suffix in
+  let full = fresh env "cm_full" in
+  let out = fresh env "cm_out" in
+  let sb = env.layout.Layout.seg_bits in
+  [ Asm.Label name; i (Asm.save 96); i (Asm.mov (Insn.Imm 1) g7) ]
+  @ List.map i (Asm.set env.layout.Layout.table_base (Reg.l 0))
+  @ [
+      i (Asm.srl g5 (Insn.Imm sb) (Reg.l 1));
+      i (Asm.sll (Reg.l 1) (Insn.Imm 2) (Reg.l 2));
+      i (Asm.ld (Reg.l 0) (Insn.Reg (Reg.l 2)) (Reg.l 3));
+      i (Asm.and_ ~cc:true (Reg.l 3) (Insn.Imm 1) Reg.g0);
+      i (Asm.branch Cond.Ne full);
+      (* Unmonitored segment: update this write type's cache. *)
+      i (Asm.mov (Insn.Reg (Reg.l 1)) creg);
+      i (Asm.ba out);
+      Asm.Label full;
+    ]
+  @ lookup_body ?hit_trap env ~base:(Reg.l 0) ~t1:(Reg.l 1) ~t2:(Reg.l 2) ~t3:(Reg.l 3)
+      ~miss_label:out
+  @ [
+      Asm.Label out;
+      i (Asm.mov (Insn.Imm 0) g7);
+      i Asm.restore;
+      i Asm.retl;
+    ]
+
+(* Hash-table lookup baseline.  Buckets of {lo, hi, next} nodes; a
+   multiplicative hash over the word address. *)
+let routine_hash_check ?(suffix = "") ?(hit_trap = Traps.monitor_hit) env =
+  let loop = fresh env "h_loop" in
+  let next = fresh env "h_next" in
+  let hit = fresh env "h_hit" in
+  let miss = fresh env "h_miss" in
+  let buckets = env.layout.Layout.hash_buckets in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  [ Asm.Label ("__dbp_hash_check" ^ suffix); i (Asm.save 96); i (Asm.mov (Insn.Imm 1) g7) ]
+  @ [ i (Asm.srl g5 (Insn.Imm 2) (Reg.l 0)) ]
+  @ List.map i (Asm.set 0x9E3779B1 (Reg.l 1))
+  @ [
+      i (Asm.smul (Reg.l 0) (Insn.Reg (Reg.l 1)) (Reg.l 0));
+      i (Asm.srl (Reg.l 0) (Insn.Imm (32 - log2 buckets)) (Reg.l 0));
+      i (Asm.sll (Reg.l 0) (Insn.Imm 2) (Reg.l 0));
+    ]
+  @ List.map i (Asm.set env.layout.Layout.hash_base (Reg.l 1))
+  @ [
+      i (Asm.ld (Reg.l 1) (Insn.Reg (Reg.l 0)) (Reg.l 2));
+      Asm.Label loop;
+      i (Asm.tst (Reg.l 2));
+      i (Asm.branch Cond.E miss);
+      i (Asm.ld (Reg.l 2) (Insn.Imm 0) (Reg.l 3));
+      i (Asm.cmp g5 (Insn.Reg (Reg.l 3)));
+      i (Asm.branch Cond.Cs next);  (* unsigned g5 < lo *)
+      i (Asm.ld (Reg.l 2) (Insn.Imm 4) (Reg.l 3));
+      i (Asm.cmp g5 (Insn.Reg (Reg.l 3)));
+      i (Asm.branch Cond.Leu hit);  (* unsigned g5 <= hi *)
+      Asm.Label next;
+      i (Asm.ld (Reg.l 2) (Insn.Imm 8) (Reg.l 2));
+      i (Asm.ba loop);
+      Asm.Label hit;
+      i (Asm.trap hit_trap);
+      Asm.Label miss;
+      i (Asm.mov (Insn.Imm 0) g7);
+      i Asm.restore;
+      i Asm.retl;
+    ]
+
+(* Shadow-stack routines for the symbol-table optimization's control
+   checks (§4.2): frame_enter records (%fp, %i7) after each save;
+   frame_exit pops and verifies both before the restore/return, which
+   also validates the indirect return jump (the window overlap makes
+   the callee's %i7 the caller's %o7). *)
+let routine_frame_enter env =
+  [
+    Asm.Label "__dbp_frame_enter";
+  ]
+  @ List.map i (Asm.set env.layout.Layout.shadow_base o3)
+  @ [
+      i (Asm.ld o3 (Insn.Imm 0) o4);
+      i (Asm.add o4 (Insn.Imm 8) o4);
+      i (Asm.st o4 o3 (Insn.Imm 0));
+      i (Asm.add o3 (Insn.Reg o4) o5);
+      i (Asm.st Reg.fp o5 (Insn.Imm 0));
+      i (Asm.st Reg.i7 o5 (Insn.Imm 4));
+      i Asm.retl;
+    ]
+
+let routine_frame_exit env =
+  let ok1 = fresh env "fx_ok1" in
+  let ok2 = fresh env "fx_ok2" in
+  [
+    Asm.Label "__dbp_frame_exit";
+  ]
+  @ List.map i (Asm.set env.layout.Layout.shadow_base o3)
+  @ [
+      i (Asm.ld o3 (Insn.Imm 0) o4);
+      i (Asm.add o3 (Insn.Reg o4) o5);
+      i (Asm.sub o4 (Insn.Imm 8) o4);
+      i (Asm.st o4 o3 (Insn.Imm 0));
+      i (Asm.ld o5 (Insn.Imm 0) o4);
+      i (Asm.cmp o4 (Insn.Reg Reg.fp));
+      i (Asm.branch Cond.E ok1);
+      i (Asm.trap Traps.control_violation);
+      Asm.Label ok1;
+      i (Asm.ld o5 (Insn.Imm 4) o4);
+      i (Asm.cmp o4 (Insn.Reg Reg.i7));
+      i (Asm.branch Cond.E ok2);
+      i (Asm.trap Traps.control_violation);
+      Asm.Label ok2;
+      i Asm.retl;
+    ]
+
+let monitor_library env ~control_checks ~monitor_reads : Asm.item list =
+  let strategy_routines =
+    match env.strategy with
+    | Strategy.Nocheck | Strategy.Bitmap_inline
+    | Strategy.Bitmap_inline_registers | Strategy.Cache_inline
+    | Strategy.Trap_check | Strategy.Hardware_watch _ ->
+      []
+    | Strategy.Bitmap -> routine_check_word env
+    | Strategy.Hash_table -> routine_hash_check env
+    | Strategy.Cache ->
+      List.concat_map (routine_cache_miss env) Write_type.all
+  in
+  (* Read monitoring (§5) uses call-based lookups raising the read-hit
+     trap; the segment-cache strategies share the cache registers but
+     call read-specific miss handlers. *)
+  let read_routines =
+    if not monitor_reads then []
+    else
+      match env.strategy with
+      | Strategy.Nocheck | Strategy.Trap_check | Strategy.Hardware_watch _ -> []
+      | Strategy.Bitmap | Strategy.Bitmap_inline
+      | Strategy.Bitmap_inline_registers ->
+        routine_check_word ~suffix:"_rd" ~hit_trap:Traps.read_hit env
+      | Strategy.Hash_table ->
+        routine_hash_check ~suffix:"_rd" ~hit_trap:Traps.read_hit env
+      | Strategy.Cache | Strategy.Cache_inline ->
+        List.concat_map
+          (routine_cache_miss ~suffix:"_rd" ~hit_trap:Traps.read_hit env)
+          Write_type.all
+  in
+  let control =
+    if control_checks then routine_frame_enter env @ routine_frame_exit env
+    else []
+  in
+  strategy_routines @ read_routines @ control

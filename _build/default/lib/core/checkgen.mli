@@ -1,0 +1,44 @@
+(** Write-check code generation (§3) and the monitor library.
+
+    Emits, per store instruction, the inline check sequence of the
+    selected {!Strategy}: a disabled-flag guard, recomputation of the
+    target address into [%g5] (checks sit {e after} the store, §2.1),
+    and either an inline segmented-bitmap lookup or a call into the
+    monitor library.  Also emits the library routines themselves:
+    call-based lookup, per-write-type cache-miss handlers, the
+    hash-table baseline, and the shadow-stack frame checks used by the
+    symbol-table optimization. *)
+
+type env
+
+val make_env :
+  ?disabled_guard:bool ->
+  ?single_cache:bool ->
+  layout:Layout.t ->
+  strategy:Strategy.t ->
+  unit ->
+  env
+(** [disabled_guard:false] and [single_cache:true] are ablations of the
+    paper's design choices (§2.1's branch-around guard; §3.1's
+    per-write-type caches), used by the ablation benchmarks. *)
+
+val fresh : env -> string -> string
+(** A program-unique label. *)
+
+val check_items :
+  env -> write_type:Write_type.t -> Sparc.Insn.t -> Sparc.Asm.item list
+(** The full check sequence for one store instruction (two lookups for
+    a double-word store).
+    @raise Invalid_argument if the instruction is not a store. *)
+
+val read_check_items :
+  env -> write_type:Write_type.t -> Sparc.Insn.t -> Sparc.Asm.item list
+(** The check sequence for one load, placed {e before} it (§5's read
+    monitoring extension); hits raise {!Traps.read_hit}.
+    @raise Invalid_argument if the instruction is not a load. *)
+
+val monitor_library :
+  env -> control_checks:bool -> monitor_reads:bool -> Sparc.Asm.item list
+(** Library routines needed by [env]'s strategy; [control_checks] adds
+    the [__dbp_frame_enter]/[__dbp_frame_exit] shadow-stack routines,
+    [monitor_reads] the read-hit lookup variants. *)

@@ -1,0 +1,90 @@
+(** The analysis-and-patching tool (§2.1): the extra processing stage
+    between the compiler and the assembler.
+
+    Given a compiled program, inserts a write check after every store
+    of every instrumented function; when optimization is on, first runs
+    symbol-table matching ({!Symopt}) and loop analysis ({!Loopopt}) and
+    instead emits, for each eliminated site, a labelled patch stub that
+    the MRS can swing into place at runtime (Kessler fast breakpoints).
+    Pre-header checks, frame-integrity calls (§4.2) and the monitor
+    library are spliced into the same item stream. *)
+
+type opt_level =
+  | O0        (** check every write *)
+  | O_symbol  (** + symbol-table pattern matching (§4.2) *)
+  | O_full    (** + loop-invariant and monotonic elimination (§4.3) *)
+
+type options = {
+  strategy : Strategy.t;
+  opt : opt_level;
+  check_aliases : bool;
+      (** guard loop-optimized loops with alias regions (§4.5); off by
+          default, matching the paper's measurements *)
+  layout : Layout.t;
+  fortran_idiom : bool;  (** enable the BSS-VAR write type (§3.1) *)
+  instrument_runtime : bool;
+  nop_padding : int;
+      (** >0: insert that many nops per store instead of checks — the
+          cache-effects experiment of §3.3.1 *)
+  exclude : string list;
+      (** functions left unpatched, like the paper's standard libraries *)
+  monitor_reads : bool;
+      (** also check every load — the read-monitoring extension of §5,
+          needed for access-anomaly detection; read hits raise
+          {!Traps.read_hit} *)
+  disabled_guard : bool;
+      (** ablation: [false] drops §2.1's branch-around-when-disabled
+          guard from every check *)
+  single_cache : bool;
+      (** ablation: one shared segment cache instead of §3.1's four
+          per-write-type caches *)
+}
+
+val default_options : options
+(** BitmapInlineRegisters, no optimization, 128-word segments. *)
+
+type status =
+  | Checked
+  | Sym_eliminated of string  (** the matched pseudo (PreMonitor key) *)
+  | Loop_eliminated of int    (** owning loop id *)
+
+type site = {
+  origin : int;  (** item index of the store in the original program *)
+  width : Sparc.Insn.width;
+  write_type : Write_type.t;
+  status : status;
+  insn : Sparc.Insn.t;
+}
+
+type read_site = { r_origin : int; r_width : Sparc.Insn.width; r_write_type : Write_type.t }
+
+type sym_stats = { matched_store_sites : int; matched_loads : int }
+
+type t = {
+  program : Sparc.Asm.program;
+  options : options;
+  sites : site list;
+  read_sites : read_site list;
+  sites_by_pseudo : (string * int list) list;
+  loop_plans : Loopopt.loop_plan list;
+  sym_stats : sym_stats;
+  loop_stats : Loopopt.stats;
+  control_checks : bool;
+  functions : string list;
+}
+
+val run : options -> Minic.Codegen.output -> t
+
+(** Label naming scheme used to find sites after assembly: *)
+
+val site_label : int -> string
+(** Placed immediately before each original store. *)
+
+val read_site_label : int -> string
+(** Placed immediately before each original load (after its check). *)
+
+val back_label : int -> string
+(** Placed immediately after an eliminated store (patch return target). *)
+
+val patch_label : int -> string
+(** Start of an eliminated store's patch stub. *)

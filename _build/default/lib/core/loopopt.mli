@@ -1,0 +1,50 @@
+(** Loop check-elimination planning (§4.3).
+
+    Runs the IR pipeline (CFG + asserts, dominators, natural loops,
+    SSA, Figure-4 bound propagation) on one function and turns each
+    optimizable loop into a {!loop_plan}: which store sites lose their
+    in-loop checks, and which invariant/range checks the pre-header
+    must run instead.  Loops are processed innermost-first, and a loop
+    qualifies only when every entry falls through into its header (so
+    pre-header code inserted before the header label runs exactly on
+    entry). *)
+
+type check =
+  | Inv of { expr : Ir.Bounds.bexpr; width : Sparc.Insn.width; origin : int }
+      (** a loop-invariant address: one standard check per entry *)
+  | Rng of {
+      lo : Ir.Bounds.bexpr;
+      hi : Ir.Bounds.bexpr;
+      width : Sparc.Insn.width;
+      origin : int;
+    }  (** a monotonic/bounded address: one range check per entry *)
+
+type loop_plan = {
+  loop_id : int;
+  fname : string;
+  header_item : int;
+  checks : check list;
+  eliminated : int list;
+  alias_pseudos : string list;
+      (** memory homes the bound expressions depend on; alias-checked
+          runs create internal regions over them for the loop's
+          duration (§4.5) *)
+  exit_items : int list;
+  contains_ret : bool;
+}
+
+type stats = {
+  loops_seen : int;
+  loops_optimized : int;
+  invariant_checks : int;
+  range_checks : int;
+}
+
+type fn_input = {
+  fname : string;
+  tac : Ir.Tac.instr list;  (** after symbol-table rewriting *)
+  items : (int * Sparc.Asm.item) list;
+  extra_call_defs : Ir.Tac.name list;
+}
+
+val analyze : next_loop_id:(unit -> int) -> fn_input -> loop_plan list * stats

@@ -1,0 +1,95 @@
+(** The monitored region service runtime (§2).
+
+    The OCaml half of the MRS: it owns the mirrors of the in-memory
+    structures the check code reads (segmented bitmap, hash table),
+    installs the trap handlers the checks raise, and implements the
+    service interface of §2 —
+
+    {ul
+    {- [CreateMonitoredRegion] / [DeleteMonitoredRegion]
+       ({!create_region} / {!delete_region});}
+    {- [NotificationCallBack] ({!set_callback});}
+    {- [PreMonitor] / [PostMonitor] (§4.2), which patch a matched
+       variable's known writes in and out via Kessler fast
+       breakpoints;}
+    {- dynamic re-insertion of loop-eliminated checks when a pre-header
+       check intersects a region (§4.3).}}
+
+    The reserved registers are maintained here too: the [%g6] disabled
+    flag, the [%g4] table base (BitmapInlineRegisters) and the four
+    segment cache registers, which are invalidated on every region
+    creation. *)
+
+type access = Write | Read
+
+type hit = { addr : int; pc : int; region : Region.t; access : access }
+
+type counters = {
+  mutable user_hits : int;
+  mutable read_hits : int;  (** subset of [user_hits] from read checks *)
+  mutable internal_hits : int;
+  mutable loop_entries : int;
+  mutable loop_triggers : int;
+  mutable patches_inserted : int;
+  mutable violations : int;
+}
+
+type t
+
+val install :
+  ?protect_self:bool ->
+  plan:Instrument.t ->
+  image:Sparc.Assembler.image ->
+  symtab:Sparc.Symtab.t ->
+  Machine.Cpu.t ->
+  t
+(** Install trap handlers and initialize reserved registers.  The MRS
+    starts disabled.  With [protect_self], internal monitored regions
+    cover the MRS's own in-memory structures (§2.1); stray program
+    writes into them surface as [internal_hits]. *)
+
+val create_region : t -> Region.t -> unit
+(** @raise Region.Invalid on overlap or misalignment. *)
+
+val delete_region : t -> Region.t -> unit
+
+val regions : t -> Region.set
+
+val set_callback : t -> (hit -> unit) -> unit
+(** The NotificationCallBack; fired for every hit on a [User] region. *)
+
+val enable : t -> unit
+val disable : t -> unit
+
+val pre_monitor : t -> string -> unit
+(** Patch in the checks of every known write of a matched pseudo
+    (["g"] for a global, ["f.x"] for a local of [f]). *)
+
+val post_monitor : t -> string -> unit
+
+val insert_check : t -> int -> unit
+(** Patch in the check for one eliminated site (by origin). *)
+
+val remove_check : t -> int -> unit
+
+val check_inserted : t -> int -> bool
+
+val counters : t -> counters
+
+val loop_entry_count : t -> int -> int
+(** Dynamic executions of a loop's pre-header check. *)
+
+val eval_bexpr : t -> Ir.Bounds.bexpr -> int
+(** Evaluate a bound expression against live machine state (registers,
+    pseudo memory homes, label addresses).
+    @raise Unresolved when a name cannot be resolved. *)
+
+exception Unresolved of string
+
+exception Hardware_capacity of int
+(** Raised by {!create_region} under {!Strategy.Hardware_watch} when
+    the watchpoint registers are exhausted — the capacity failure mode
+    of §1. *)
+
+val pseudo_home_of_symtab :
+  Sparc.Symtab.t -> string -> [ `Global of int | `Local of string * int ] option

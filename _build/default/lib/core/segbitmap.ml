@@ -1,0 +1,99 @@
+open Machine
+
+(* The segmented bitmap (§3, Figure 2), maintained in the debugged
+   program's simulated memory so the generated check code can consult
+   it with ordinary loads.
+
+   Segment table entry layout: [segment_pointer | monitored_flag] with
+   the flag in the otherwise-unused low bit.  A zero entry means "no
+   segment allocated" and reads as unmonitored, so the table needs no
+   initialization (fresh simulated memory is zero).  An OCaml-side
+   count of monitored words per segment supports efficient flag
+   maintenance on create/delete (§3.1). *)
+
+type t = {
+  layout : Layout.t;
+  mem : Memory.t;
+  mutable next_segment : int;
+  counts : (int, int) Hashtbl.t;  (* segment number -> monitored words *)
+}
+
+let create layout mem =
+  { layout; mem; next_segment = layout.Layout.segments_base; counts = Hashtbl.create 64 }
+
+let entry_addr t addr = Layout.table_entry_addr t.layout addr
+
+(* Segment pointer for the segment containing [addr], allocating (and
+   installing) a zeroed segment on first use. *)
+let segment_ptr t addr =
+  let ea = entry_addr t addr in
+  let entry = Sparc.Word.to_unsigned (Memory.read_word t.mem ea) in
+  if entry land lnot 1 <> 0 then entry land lnot 1
+  else begin
+    let ptr = t.next_segment in
+    t.next_segment <- t.next_segment + Layout.segment_bitmap_bytes t.layout;
+    Memory.write_word t.mem ea (ptr lor (entry land 1));
+    ptr
+  end
+
+let set_flag t addr flag =
+  let ea = entry_addr t addr in
+  let entry = Sparc.Word.to_unsigned (Memory.read_word t.mem ea) in
+  let entry = if flag then entry lor 1 else entry land lnot 1 in
+  Memory.write_word t.mem ea entry
+
+let bit_location t addr =
+  let widx = Layout.word_in_segment t.layout addr in
+  (4 * (widx lsr 5), widx land 31)
+
+let set_word_bit t addr value =
+  let seg = Layout.segment_of t.layout addr in
+  let ptr = segment_ptr t addr in
+  let word_off, bit = bit_location t addr in
+  let w = Sparc.Word.to_unsigned (Memory.read_word t.mem (ptr + word_off)) in
+  let already = w land (1 lsl bit) <> 0 in
+  let w' = if value then w lor (1 lsl bit) else w land lnot (1 lsl bit) in
+  Memory.write_word t.mem (ptr + word_off) w';
+  (* Maintain the per-segment monitored-word count and flag. *)
+  let delta =
+    match value, already with
+    | true, false -> 1
+    | false, true -> -1
+    | true, true | false, false -> 0
+  in
+  if delta <> 0 then begin
+    let c = Option.value ~default:0 (Hashtbl.find_opt t.counts seg) + delta in
+    Hashtbl.replace t.counts seg c;
+    set_flag t addr (c > 0)
+  end
+
+let iter_region_words (region : Region.t) f =
+  let lo = region.lo and hi = region.hi in
+  let rec go a = if a <= hi then (f a; go (a + 4)) in
+  go lo
+
+let add_region t region = iter_region_words region (fun a -> set_word_bit t a true)
+
+let remove_region t region =
+  iter_region_words region (fun a -> set_word_bit t a false)
+
+(* Reference query, reading the same in-memory structures the check
+   code reads — the oracle for the instruction-level tests. *)
+let monitored t addr =
+  let ea = entry_addr t addr in
+  let entry = Sparc.Word.to_unsigned (Memory.read_word t.mem ea) in
+  if entry land 1 = 0 then false
+  else begin
+    let ptr = entry land lnot 1 in
+    let word_off, bit = bit_location t addr in
+    let w = Sparc.Word.to_unsigned (Memory.read_word t.mem (ptr + word_off)) in
+    w land (1 lsl bit) <> 0
+  end
+
+let segment_monitored t addr =
+  let entry = Sparc.Word.to_unsigned (Memory.read_word t.mem (entry_addr t addr)) in
+  entry land 1 <> 0
+
+let allocated_segments t = Hashtbl.length t.counts
+
+let space_bytes t = t.next_segment - t.layout.Layout.segments_base

@@ -1,0 +1,144 @@
+open Sparc
+open Machine
+
+(* End-to-end orchestration: compile mini-C, instrument, assemble,
+   load, install the MRS, and run — with per-site execution counters
+   (zero-cost probes) and an optional store oracle for validation. *)
+
+type t = {
+  plan : Instrument.t;
+  image : Assembler.image;
+  symtab : Symtab.t;
+  cpu : Cpu.t;
+  mrs : Mrs.t;
+  site_exec : (int, int ref) Hashtbl.t;
+  mutable expected_hits : (int * int) list;  (* oracle: addr, access pc *)
+  functions : string list;
+}
+
+let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false)
+    source =
+  let out = Minic.Compile.compile source in
+  let plan = Instrument.run options out in
+  let image =
+    try Assembler.assemble plan.Instrument.program
+    with Assembler.Error m ->
+      failwith ("Session.create: assembly of instrumented program failed: " ^ m)
+  in
+  let symtab =
+    Symtab.resolve_data_labels
+      ~addr_of_label:(Assembler.addr_of_label image)
+      out.Minic.Codegen.symtab
+  in
+  let cpu = Cpu.create ?config image in
+  Cpu.install_basic_services cpu;
+  let mrs = Mrs.install ~protect_self:protect_mrs ~plan ~image ~symtab cpu in
+  let site_exec = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Instrument.site) ->
+      match Assembler.addr_of_label image (Instrument.site_label s.origin) with
+      | Some addr ->
+        let counter = ref 0 in
+        Hashtbl.replace site_exec s.origin counter;
+        Cpu.add_probe cpu addr (fun _ -> incr counter)
+      | None -> ())
+    plan.Instrument.sites;
+  {
+    plan;
+    image;
+    symtab;
+    cpu;
+    mrs;
+    site_exec;
+    expected_hits = [];
+    functions = plan.Instrument.functions;
+  }
+
+let site_executions t origin =
+  match Hashtbl.find_opt t.site_exec origin with Some r -> !r | None -> 0
+
+let total_site_executions t =
+  Hashtbl.fold (fun _ r acc -> acc + !r) t.site_exec 0
+
+let eliminated_site_executions t =
+  List.fold_left
+    (fun acc (s : Instrument.site) ->
+      match s.status with
+      | Instrument.Checked -> acc
+      | Instrument.Sym_eliminated _ | Instrument.Loop_eliminated _ ->
+        acc + site_executions t s.origin)
+    0 t.plan.Instrument.sites
+
+let sym_eliminated_site_executions t =
+  List.fold_left
+    (fun acc (s : Instrument.site) ->
+      match s.status with
+      | Instrument.Sym_eliminated _ -> acc + site_executions t s.origin
+      | Instrument.Checked | Instrument.Loop_eliminated _ -> acc)
+    0 t.plan.Instrument.sites
+
+let loop_eliminated_site_executions t =
+  List.fold_left
+    (fun acc (s : Instrument.site) ->
+      match s.status with
+      | Instrument.Loop_eliminated _ -> acc + site_executions t s.origin
+      | Instrument.Checked | Instrument.Sym_eliminated _ -> acc)
+    0 t.plan.Instrument.sites
+
+(* The oracle: record every program store that lands in a user region;
+   at the end of the run, every one of them must have produced a
+   notification (assuming the debugger armed the regions through the
+   proper interface).  Patched-out stores execute inside their patch
+   stub, so stub addresses count as program stores too. *)
+let install_oracle t =
+  let covered addr bytes =
+    let rec go a =
+      if a >= addr + bytes then false
+      else
+        match Region.find_containing (Mrs.regions t.mrs) a with
+        | Some { Region.kind = Region.User; _ } -> true
+        | Some _ | None -> go (a + 1)
+    in
+    go addr
+  in
+  let program_store_pcs = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Instrument.site) ->
+      (match Assembler.addr_of_label t.image (Instrument.site_label s.origin) with
+      | Some a -> Hashtbl.replace program_store_pcs a ()
+      | None -> ());
+      match Assembler.addr_of_label t.image (Instrument.patch_label s.origin) with
+      | Some a -> Hashtbl.replace program_store_pcs a ()
+      | None -> ())
+    t.plan.Instrument.sites;
+  Cpu.set_store_hook t.cpu (fun cpu ~addr ~width ->
+      if Hashtbl.mem program_store_pcs (Cpu.pc cpu) then begin
+        if covered addr (Insn.width_bytes width) then
+          t.expected_hits <- (addr, Cpu.pc cpu) :: t.expected_hits
+      end);
+  if t.plan.Instrument.options.monitor_reads then begin
+    let program_load_pcs = Hashtbl.create 256 in
+    List.iter
+      (fun (r : Instrument.read_site) ->
+        match
+          Assembler.addr_of_label t.image (Instrument.read_site_label r.r_origin)
+        with
+        | Some a -> Hashtbl.replace program_load_pcs a ()
+        | None -> ())
+      t.plan.Instrument.read_sites;
+    Cpu.set_load_hook t.cpu (fun cpu ~addr ~width ->
+        if Hashtbl.mem program_load_pcs (Cpu.pc cpu) then begin
+          if covered addr (Insn.width_bytes width) then
+            t.expected_hits <- (addr, Cpu.pc cpu) :: t.expected_hits
+        end)
+  end
+
+let run ?fuel t =
+  let code = Cpu.run ?fuel t.cpu in
+  (code, Cpu.output t.cpu)
+
+let missed_hits t =
+  let actual = (Mrs.counters t.mrs).Mrs.user_hits in
+  max 0 (List.length t.expected_hits - actual)
+
+let stats t = Cpu.stats t.cpu

@@ -1,0 +1,46 @@
+(** End-to-end sessions: compile → instrument → assemble → load →
+    install the MRS, with per-site execution counters (zero-cost
+    probes) and an optional store oracle. *)
+
+type t = {
+  plan : Instrument.t;
+  image : Sparc.Assembler.image;
+  symtab : Sparc.Symtab.t;  (** resolved against the instrumented image *)
+  cpu : Machine.Cpu.t;
+  mrs : Mrs.t;
+  site_exec : (int, int ref) Hashtbl.t;
+  mutable expected_hits : (int * int) list;
+  functions : string list;
+}
+
+val create :
+  ?config:Machine.Cpu.config ->
+  ?options:Instrument.options ->
+  ?protect_mrs:bool ->
+  string ->
+  t
+(** Build a session from mini-C source.  [protect_mrs] arms the MRS's
+    self-protection regions (§2.1).
+    @raise Failure if the instrumented program fails to assemble.
+    @raise Minic.Compile.Error on compilation errors. *)
+
+val run : ?fuel:int -> t -> int * string
+(** Execute to completion; returns (exit code, captured output). *)
+
+val site_executions : t -> int -> int
+(** Dynamic executions of one write site (by origin). *)
+
+val total_site_executions : t -> int
+val eliminated_site_executions : t -> int
+val sym_eliminated_site_executions : t -> int
+val loop_eliminated_site_executions : t -> int
+
+val install_oracle : t -> unit
+(** Record every program store that lands in a user region; after the
+    run, {!missed_hits} is the number of such stores that produced no
+    notification.  Zero for a correctly armed debugger — the soundness
+    property the test suite checks for every strategy. *)
+
+val missed_hits : t -> int
+
+val stats : t -> Machine.Cpu.stats

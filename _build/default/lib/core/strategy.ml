@@ -1,0 +1,44 @@
+type t =
+  | Nocheck
+  | Bitmap
+  | Bitmap_inline
+  | Bitmap_inline_registers
+  | Cache
+  | Cache_inline
+  | Hash_table
+  | Trap_check
+  | Hardware_watch of int
+
+let all = [ Bitmap; Bitmap_inline; Bitmap_inline_registers; Cache; Cache_inline ]
+
+let to_string = function
+  | Nocheck -> "none"
+  | Bitmap -> "Bitmap"
+  | Bitmap_inline -> "BitmapInline"
+  | Bitmap_inline_registers -> "BitmapInlineRegisters"
+  | Cache -> "Cache"
+  | Cache_inline -> "CacheInline"
+  | Hash_table -> "HashTable"
+  | Trap_check -> "TrapCheck"
+  | Hardware_watch n -> Printf.sprintf "HardwareWatch%d" n
+
+let of_string = function
+  | "none" -> Nocheck
+  | "Bitmap" | "bitmap" -> Bitmap
+  | "BitmapInline" | "bitmap-inline" -> Bitmap_inline
+  | "BitmapInlineRegisters" | "bitmap-inline-registers" -> Bitmap_inline_registers
+  | "Cache" | "cache" -> Cache
+  | "CacheInline" | "cache-inline" -> Cache_inline
+  | "HashTable" | "hash" -> Hash_table
+  | "TrapCheck" | "trap" -> Trap_check
+  | "HardwareWatch1" -> Hardware_watch 1
+  | "HardwareWatch4" -> Hardware_watch 4
+  | s -> invalid_arg (Printf.sprintf "Strategy.of_string: %S" s)
+
+let uses_segment_caches = function
+  | Cache | Cache_inline -> true
+  | Nocheck | Bitmap | Bitmap_inline | Bitmap_inline_registers | Hash_table
+  | Trap_check | Hardware_watch _ ->
+    false
+
+let pp ppf t = Fmt.string ppf (to_string t)

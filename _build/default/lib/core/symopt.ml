@@ -1,0 +1,245 @@
+open Sparc
+
+(* Symbol-table pattern matching (§4.2).
+
+   Address expressions of loads/stores are matched against symbol-table
+   entries; matched accesses are rewritten to moves of pseudo-operands,
+   which both eliminates those write checks (re-inserted dynamically by
+   PreMonitor) and exposes memory-homed induction variables to the loop
+   optimizer.
+
+   We only match one-word scalar/pointer homes that cannot be aliased:
+   locals whose address is never taken and globals whose address never
+   escapes (used only as a load/store base).  Aliased homes keep their
+   checks, which — together with the monitored region the debugger
+   always creates — preserves hit detection exactly as the paper
+   describes. *)
+
+module SS = Set.Make (String)
+
+type store_site = { origin : int; pseudo : string }
+
+type result = {
+  tac : Ir.Tac.instr list;
+  matched_stores : store_site list;
+  matched_loads : int;
+  global_pseudos : string list;  (** pseudos a call may redefine *)
+  sites_by_pseudo : (string * int list) list;
+      (** pseudo -> store origins, the PreMonitor patch list *)
+}
+
+(* --- escape analysis --------------------------------------------------------- *)
+
+(* Globals whose address escapes: a register holding &g (or a copy) is
+   used other than as a load/store base or as the base of an
+   add-immediate.  Conservative and flow-insensitive per block. *)
+let escaped_globals (functions : Ir.Tac.instr list list) : SS.t =
+  let escaped = ref SS.empty in
+  let escape name = escaped := SS.add name !escaped in
+  let scan instrs =
+    (* reg -> global label it currently holds *)
+    let holds : (Reg.t, string) Hashtbl.t = Hashtbl.create 8 in
+    let clear_reg r = Hashtbl.remove holds r in
+    let clear_all () = Hashtbl.reset holds in
+    let label_of = function
+      | Ir.Tac.Name (Ir.Tac.Machine r) -> Hashtbl.find_opt holds r
+      | Ir.Tac.Name (Ir.Tac.Pseudo _) | Ir.Tac.Imm _ -> None
+      | Ir.Tac.Lab (l, _) -> Some l
+    in
+    let escape_op op = Option.iter escape (label_of op) in
+    List.iter
+      (fun instr ->
+        match instr with
+        | Ir.Tac.Label _ -> clear_all ()
+        | Ir.Tac.Branch _ | Ir.Tac.Jump _ | Ir.Tac.Ret _ -> clear_all ()
+        | Ir.Tac.Call _ ->
+          (* Outgoing argument registers may carry addresses into the
+             callee. *)
+          List.iter
+            (fun k ->
+              match Hashtbl.find_opt holds (Reg.o k) with
+              | Some l -> escape l
+              | None -> ())
+            [ 0; 1; 2; 3; 4; 5 ];
+          clear_all ()
+        | Ir.Tac.Effect _ ->
+          (* Traps read only %o0. *)
+          (match Hashtbl.find_opt holds (Reg.o 0) with
+          | Some l -> escape l
+          | None -> ());
+          clear_all ()
+        | Ir.Tac.Assert { dst = Ir.Tac.Machine r; _ } -> clear_reg r
+        | Ir.Tac.Assert _ -> ()
+        | Ir.Tac.Store { base = _; off; src; _ } ->
+          (* Using a tracked address as the stored value or as a
+             register offset escapes it; using it as the base is the
+             normal pattern.  The compiler materializes global addresses
+             into its scratch registers for exactly one access, so their
+             holds die here — without this, a stale scratch register
+             would spuriously escape the global at the next call. *)
+          escape_op src;
+          escape_op off;
+          List.iter clear_reg [ Reg.o 3; Reg.o 4; Reg.o 5 ]
+        | Ir.Tac.Def { dst; rhs; _ } -> (
+          (match dst with
+          | Ir.Tac.Machine r -> clear_reg r
+          | Ir.Tac.Pseudo _ -> ());
+          match rhs, dst with
+          | Ir.Tac.Mov (Ir.Tac.Lab (l, _)), Ir.Tac.Machine r ->
+            Hashtbl.replace holds r l
+          | Ir.Tac.Mov (Ir.Tac.Name (Ir.Tac.Machine src)), Ir.Tac.Machine r -> (
+            match Hashtbl.find_opt holds src with
+            | Some l -> Hashtbl.replace holds r l
+            | None -> ())
+          | Ir.Tac.Mov _, _ -> ()
+          | Ir.Tac.Bin (Insn.Add, a, Ir.Tac.Imm _), Ir.Tac.Machine r -> (
+            (* &g + c stays an address of g. *)
+            match label_of a with
+            | Some l -> Hashtbl.replace holds r l
+            | None -> ())
+          | Ir.Tac.Bin (_, a, b), _ ->
+            (* Any other arithmetic on a tracked address (indexing,
+               comparisons feeding stores, ...) escapes it. *)
+            escape_op a;
+            escape_op b
+          | Ir.Tac.Load { base = _; off; _ }, _ ->
+            (* A register offset that is an address escapes. *)
+            escape_op off;
+            List.iter clear_reg [ Reg.o 3; Reg.o 4; Reg.o 5 ]
+          | Ir.Tac.Callret, _ -> ()))
+      instrs
+  in
+  List.iter scan functions;
+  !escaped
+
+(* --- address-taken locals ----------------------------------------------------- *)
+
+(* Frame offsets whose address is materialized ([add %fp, c, r]): any
+   symbol whose home range intersects one is excluded. *)
+let addr_taken_offsets instrs =
+  List.filter_map
+    (fun instr ->
+      match instr with
+      | Ir.Tac.Def
+          { rhs = Ir.Tac.Bin (Insn.Add, Ir.Tac.Name (Ir.Tac.Machine r), Ir.Tac.Imm c); _ }
+        when Reg.equal r Reg.fp ->
+        Some c
+      | _ -> None)
+    instrs
+
+(* --- matching ------------------------------------------------------------------ *)
+
+type matchable = {
+  m_pseudo : string;
+  m_global : bool;
+}
+
+let matchable_local symtab ~fname ~addr_taken off : matchable option =
+  let covers (e : Symtab.entry) o =
+    match e.location with
+    | Symtab.Fp_offset base -> o >= base && o < base + Symtab.size_bytes e
+    | Symtab.Absolute _ | Symtab.Data_label _ -> false
+  in
+  let entry =
+    List.find_opt
+      (fun (e : Symtab.entry) ->
+        e.func = Some fname && covers e off)
+      (Symtab.entries symtab)
+  in
+  match entry with
+  | Some e
+    when e.size_words = 1
+         && (match e.ctype with
+            | Symtab.Scalar | Symtab.Pointer -> true
+            | Symtab.Array _ | Symtab.Struct _ -> false)
+         && (match e.location with Symtab.Fp_offset b -> b = off | _ -> false)
+         && not (List.exists (fun o -> covers e o) addr_taken) ->
+    Some { m_pseudo = fname ^ "." ^ e.name; m_global = false }
+  | Some _ | None -> None
+
+let matchable_global symtab ~escaped label off : matchable option =
+  match Symtab.lookup symtab label with
+  | Some e
+    when e.func = None && off = 0 && e.size_words = 1
+         && (match e.ctype with
+            | Symtab.Scalar | Symtab.Pointer -> true
+            | Symtab.Array _ | Symtab.Struct _ -> false)
+         && not (SS.mem label escaped) ->
+    Some { m_pseudo = label; m_global = true }
+  | Some _ | None -> None
+
+let rewrite symtab ~fname ~escaped (instrs : Ir.Tac.instr list) : result =
+  let addr_taken = addr_taken_offsets instrs in
+  (* Track which register holds which global address, per block, to
+     resolve [set g, r; st v, [r]] patterns. *)
+  let holds : (Reg.t, string * int) Hashtbl.t = Hashtbl.create 8 in
+  let matched_stores = ref [] in
+  let matched_loads = ref 0 in
+  let globals = ref SS.empty in
+  let match_address base off : matchable option =
+    match base, off with
+    | Ir.Tac.Name (Ir.Tac.Machine r), Ir.Tac.Imm c when Reg.equal r Reg.fp ->
+      matchable_local symtab ~fname ~addr_taken c
+    | Ir.Tac.Name (Ir.Tac.Machine r), Ir.Tac.Imm c -> (
+      match Hashtbl.find_opt holds r with
+      | Some (label, base_off) ->
+        matchable_global symtab ~escaped label (base_off + c)
+      | None -> None)
+    | Ir.Tac.Lab (label, base_off), Ir.Tac.Imm c ->
+      matchable_global symtab ~escaped label (base_off + c)
+    | (Ir.Tac.Name _ | Ir.Tac.Imm _ | Ir.Tac.Lab _), _ -> None
+  in
+  let out =
+    List.map
+      (fun instr ->
+        match instr with
+        | Ir.Tac.Label _ | Ir.Tac.Branch _ | Ir.Tac.Jump _ | Ir.Tac.Ret _
+        | Ir.Tac.Call _ | Ir.Tac.Effect _ ->
+          Hashtbl.reset holds;
+          instr
+        | Ir.Tac.Assert _ -> instr
+        | Ir.Tac.Store { base; off; src; width; origin } -> (
+          match match_address base off with
+          | Some m when width = Insn.Word ->
+            matched_stores := { origin; pseudo = m.m_pseudo } :: !matched_stores;
+            if m.m_global then globals := SS.add m.m_pseudo !globals;
+            Ir.Tac.Def { dst = Ir.Tac.Pseudo m.m_pseudo; rhs = Ir.Tac.Mov src; origin }
+          | Some _ | None -> instr)
+        | Ir.Tac.Def { dst; rhs; origin } -> (
+          (match dst with
+          | Ir.Tac.Machine r -> Hashtbl.remove holds r
+          | Ir.Tac.Pseudo _ -> ());
+          match rhs, dst with
+          | Ir.Tac.Mov (Ir.Tac.Lab (l, o)), Ir.Tac.Machine r ->
+            Hashtbl.replace holds r (l, o);
+            instr
+          | Ir.Tac.Mov (Ir.Tac.Name (Ir.Tac.Machine s)), Ir.Tac.Machine r -> (
+            match Hashtbl.find_opt holds s with
+            | Some lo ->
+              Hashtbl.replace holds r lo;
+              instr
+            | None -> instr)
+          | Ir.Tac.Load { base; off; width }, _ -> (
+            match match_address base off with
+            | Some m when width = Insn.Word ->
+              incr matched_loads;
+              if m.m_global then globals := SS.add m.m_pseudo !globals;
+              Ir.Tac.Def
+                { dst; rhs = Ir.Tac.Mov (Ir.Tac.Name (Ir.Tac.Pseudo m.m_pseudo)); origin }
+            | Some _ | None -> instr)
+          | (Ir.Tac.Mov _ | Ir.Tac.Bin _ | Ir.Tac.Callret), _ -> instr))
+      instrs
+  in
+  let sites = Hashtbl.create 16 in
+  List.iter
+    (fun { origin; pseudo } ->
+      Hashtbl.replace sites pseudo
+        (origin :: Option.value ~default:[] (Hashtbl.find_opt sites pseudo)))
+    !matched_stores;
+  {
+    tac = out;
+    matched_stores = List.rev !matched_stores;
+    matched_loads = !matched_loads;
+    global_pseudos = SS.elements !globals;
+    sites_by_pseudo = Hashtbl.fold (fun k v acc -> (k, v) :: acc) sites [];
+  }

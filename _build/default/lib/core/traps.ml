@@ -1,0 +1,9 @@
+(* Trap numbers used by the monitored region service.  Numbers 0-3 are
+   the machine's basic services. *)
+
+let monitor_hit = 16
+let loop_entry = 17
+let loop_exit = 18
+let control_violation = 19
+let read_hit = 20
+let trap_check = 21

@@ -1,0 +1,22 @@
+(** Trap numbers reserved for the monitored region service. *)
+
+val monitor_hit : int
+(** Raised by check code on a monitor hit; target address in [%g5]. *)
+
+val loop_entry : int
+(** Pre-header check of a loop-optimized loop; loop id in [%g5]. *)
+
+val loop_exit : int
+(** Exit bookkeeping for alias regions; loop id in [%g5]. *)
+
+val control_violation : int
+(** Frame-pointer or return-target verification failure (§4.2). *)
+
+val read_hit : int
+(** Raised by read-check code on a monitor hit (§5's read-monitoring
+    extension); target address in [%g5]. *)
+
+val trap_check : int
+(** Raised once per store by the {!Strategy.Trap_check} baseline: the
+    address check happens in the "operating system" (the OCaml MRS),
+    as in Wahbe's pilot-study trap variant. *)

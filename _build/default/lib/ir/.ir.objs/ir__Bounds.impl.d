@@ -1,0 +1,1 @@
+lib/ir/bounds.ml: Array Fmt Hashtbl Insn List Loops Option Queue Sparc Ssa String Tac Word

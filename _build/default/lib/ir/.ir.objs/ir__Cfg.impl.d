@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Fmt Format Hashtbl List Sparc Tac

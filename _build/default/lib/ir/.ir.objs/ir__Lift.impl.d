@@ -1,0 +1,1 @@
+lib/ir/lift.ml: Asm Cond Format Insn List Reg Sparc Tac Word

@@ -1,0 +1,1 @@
+lib/ir/lift.mli: Sparc Tac

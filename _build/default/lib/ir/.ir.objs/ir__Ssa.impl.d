@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Cfg Dominance Fmt Hashtbl List Map Option Queue Sparc Tac

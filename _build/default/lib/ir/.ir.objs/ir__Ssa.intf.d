@@ -1,0 +1,1 @@
+lib/ir/ssa.mli: Cfg Dominance Format Hashtbl Sparc Tac

@@ -1,0 +1,1 @@
+lib/ir/tac.ml: Cond Fmt Insn List Reg Sparc String

@@ -1,0 +1,1 @@
+lib/ir/tac.mli: Format Sparc

@@ -1,0 +1,77 @@
+(** Bound propagation (§4.3.2, Figure 4).
+
+    Every SSA variable is tagged with a lower and upper bound, each a
+    symbolic expression over constants, label addresses and variables
+    defined outside the current loop, classified on the paper's
+    usefulness lattice [Lc > Lli > Lm > La > unbounded]:
+    - [Lc] — derived from constants only;
+    - [Lli] — from loop invariants and constants;
+    - [Lm] — from a monotonic variable's loop-entry value;
+    - [La] — from assert definitions (branch conditions).
+
+    The fixpoint only ever {e raises} a bound to a more useful level
+    (the [max] of Figure 4), so monotonic-group seeds persist.  After
+    propagation, each store in the loop is classified: {!Invariant}
+    (provably the same address every iteration — movable to the
+    pre-header as one standard check), {!Range} (bounded — movable as a
+    pre-header range check), or {!Keep}. *)
+
+type level = La | Lm | Lli | Lc
+
+val level_rank : level -> int
+
+type bexpr =
+  | Bconst of int
+  | Blab of string * int
+  | Bvar of Ssa.var
+  | Badd of bexpr * bexpr
+  | Bsub of bexpr * bexpr
+  | Bmul of bexpr * int
+  | Bshl of bexpr * int
+
+val bexpr_equal : bexpr -> bexpr -> bool
+val bexpr_vars : bexpr -> Ssa.var list
+
+type bound = Unbounded | Bound of { level : level; expr : bexpr }
+
+type bounds = { lo : bound; hi : bound }
+
+module VarTbl : Hashtbl.S with type key = Ssa.var
+
+type env = bounds VarTbl.t
+
+val lookup : env -> Ssa.var -> bounds
+
+type direction = Increasing | Decreasing
+
+type group = { phi_var : Ssa.var; init : Ssa.var; direction : direction }
+
+val monotonic_groups : Ssa.t -> Loops.loop -> group list
+(** Header phis whose back-edge chains add a constant of uniform sign
+    each iteration (following copies and asserts). *)
+
+val propagate : Ssa.t -> Loops.loop -> env * group list
+(** Seed invariants and monotonic groups, then run the Figure 4
+    worklist to fixpoint. *)
+
+type disposition =
+  | Keep
+  | Invariant of { expr : bexpr }
+  | Range of { lo : bexpr; hi : bexpr }
+
+type store_decision = {
+  origin : int;   (** assembly item index of the store *)
+  block : int;
+  width : Sparc.Insn.width;
+  disposition : disposition;
+}
+
+val dispositions : Ssa.t -> Loops.loop -> env -> store_decision list
+(** Classify every store inside the loop.  Expressions in non-[Keep]
+    dispositions are evaluable in the loop pre-header: all their
+    variables carry the version live at the header's entry. *)
+
+val evaluable : Ssa.t -> Loops.loop -> bexpr -> bool
+
+val pp_bexpr : Format.formatter -> bexpr -> unit
+val pp_disposition : Format.formatter -> disposition -> unit

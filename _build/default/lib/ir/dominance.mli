@@ -1,0 +1,17 @@
+(** Dominator trees and dominance frontiers, via the Cooper-Harvey-
+    Kennedy iterative algorithm. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int
+(** Immediate dominator; the entry is its own idom, unreachable blocks
+    return [-1]. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — reflexive. False if either block is unreachable. *)
+
+val frontier : t -> int -> int list
+val children : t -> int -> int list
+val reachable : t -> int -> bool

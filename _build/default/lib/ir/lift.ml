@@ -1,0 +1,150 @@
+open Sparc
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* A function slice: the contiguous run of items from the function's
+   label to the next function label.  Item indices are into the whole
+   program's text list, so analysis results can be mapped back. *)
+type slice = { fname : string; items : (int * Asm.item) list }
+
+let slice_program ~function_labels (items : Asm.item list) : slice list =
+  let is_function l = List.mem l function_labels in
+  let indexed = List.mapi (fun i item -> (i, item)) items in
+  let rec split acc current = function
+    | [] -> List.rev (match current with None -> acc | Some s -> s :: acc)
+    | ((_, Asm.Label l) as x) :: rest when is_function l ->
+      let acc = match current with None -> acc | Some s -> s :: acc in
+      split acc (Some { fname = l; items = [ x ] }) rest
+    | x :: rest -> (
+      match current with
+      | None -> split acc current rest  (* preamble before first function *)
+      | Some s -> split acc (Some { s with items = x :: s.items }) rest)
+  in
+  split [] None indexed
+  |> List.map (fun s -> { s with items = List.rev s.items })
+
+let reg_operand r = if Reg.equal r Reg.g0 then Tac.Imm 0 else Tac.Name (Tac.Machine r)
+
+let operand = function
+  | Insn.Reg r -> reg_operand r
+  | Insn.Imm i -> Tac.Imm i
+
+(* The compare operands implied by a cc-setting ALU instruction: subcc
+   compares its operands; any other op compares its result with zero. *)
+let compare_of_alu op rs1 op2 rd =
+  match (op : Insn.alu) with
+  | Insn.Sub -> Some (reg_operand rs1, operand op2)
+  | Insn.Or when Reg.equal rs1 Reg.g0 -> Some (operand op2, Tac.Imm 0)
+  | Insn.Add | Insn.And | Insn.Or | Insn.Xor | Insn.Andn | Insn.Orn
+  | Insn.Xnor | Insn.Sll | Insn.Srl | Insn.Sra | Insn.Smul | Insn.Umul
+  | Insn.Sdiv | Insn.Udiv ->
+    if Reg.equal rd Reg.g0 then None
+    else Some (Tac.Name (Tac.Machine rd), Tac.Imm 0)
+
+let target_label = function
+  | Insn.Sym s -> s
+  | Insn.Abs a -> errorf "absolute branch target 0x%x in pre-assembly code" a
+
+let lift_slice (s : slice) : Tac.instr list =
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  (* Last cc-setting compare, cleared at labels and calls, and
+     invalidated when either operand's register is overwritten before
+     the branch (its recorded name would no longer denote the compared
+     value). *)
+  let compare = ref None in
+  let invalidate_compare rd =
+    match !compare with
+    | Some (a, b)
+      when a = Tac.Name (Tac.Machine rd) || b = Tac.Name (Tac.Machine rd) ->
+      compare := None
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun (origin, item) ->
+      match item with
+      | Asm.Comment _ -> ()
+      | Asm.Label l ->
+        compare := None;
+        emit (Tac.Label l)
+      | Asm.Set_label { label; offset; rd } ->
+        invalidate_compare rd;
+        emit (Tac.Def { dst = Tac.Machine rd; rhs = Tac.Mov (Tac.Lab (label, offset)); origin })
+      | Asm.Insn insn -> (
+        match insn with
+        | Insn.Nop -> ()
+        | Insn.Alu { op; cc; rs1; op2; rd } ->
+          if cc then compare := compare_of_alu op rs1 op2 rd
+          else invalidate_compare rd;
+          if not (Reg.equal rd Reg.g0) then begin
+            (* Canonicalize the mov idioms so copy chains are visible:
+               or/add with %g0 or a zero immediate are plain moves. *)
+            let rhs =
+              match op, Reg.equal rs1 Reg.g0, op2 with
+              | (Insn.Or | Insn.Add), true, op2 -> Tac.Mov (operand op2)
+              | (Insn.Or | Insn.Add), false, Insn.Imm 0 ->
+                Tac.Mov (reg_operand rs1)
+              | _, _, _ -> Tac.Bin (op, reg_operand rs1, operand op2)
+            in
+            emit (Tac.Def { dst = Tac.Machine rd; rhs; origin })
+          end
+        | Insn.Sethi { imm; rd } ->
+          invalidate_compare rd;
+          emit
+            (Tac.Def
+               {
+                 dst = Tac.Machine rd;
+                 rhs = Tac.Mov (Tac.Imm (Word.norm (imm lsl 10)));
+                 origin;
+               })
+        | Insn.Ld { width; rs1; off; rd; signed = _ } ->
+          invalidate_compare rd;
+          emit
+            (Tac.Def
+               {
+                 dst = Tac.Machine rd;
+                 rhs = Tac.Load { base = reg_operand rs1; off = operand off; width };
+                 origin;
+               })
+        | Insn.St { width; rd; rs1; off } ->
+          emit
+            (Tac.Store
+               {
+                 base = reg_operand rs1;
+                 off = operand off;
+                 src = reg_operand rd;
+                 width;
+                 origin;
+               })
+        | Insn.Branch { cond = Cond.A; target } ->
+          emit (Tac.Jump { target = target_label target; origin })
+        | Insn.Branch { cond = Cond.N; target = _ } -> ()
+        | Insn.Branch { cond; target } ->
+          emit
+            (Tac.Branch
+               { cond; target = target_label target; compare = !compare; origin })
+        | Insn.Call { target } ->
+          compare := None;
+          emit (Tac.Call { target = target_label target; origin })
+        | Insn.Jmpl _ ->
+          (* In compiler output, indirect jumps are returns. *)
+          emit (Tac.Ret { origin })
+        | Insn.Save { rs1; op2; rd }
+          when Reg.equal rs1 Reg.sp && Reg.equal rd Reg.sp ->
+          (* After save, the caller's %sp is the new %fp, so the new
+             %sp is %fp + op2. *)
+          emit
+            (Tac.Def
+               {
+                 dst = Tac.Machine Reg.sp;
+                 rhs = Tac.Bin (Insn.Add, Tac.Name (Tac.Machine Reg.fp), operand op2);
+                 origin;
+               })
+        | Insn.Save _ | Insn.Restore _ -> emit (Tac.Effect { origin })
+        | Insn.Trap _ ->
+          compare := None;
+          emit (Tac.Effect { origin })))
+    s.items;
+  List.rev !out

@@ -1,0 +1,21 @@
+(** Lifting assembly to {!Tac}.
+
+    Per-function lifting mirrors the paper's analysis tool, which
+    consumes the compiler's assembly stream.  Condition-code dataflow is
+    resolved here: conditional branches carry the operands of the last
+    cc-setting instruction, and [save] is rewritten as the frame-pointer
+    arithmetic it performs. *)
+
+exception Error of string
+
+type slice = { fname : string; items : (int * Sparc.Asm.item) list }
+(** Items of one function, each paired with its index into the whole
+    program's text list. *)
+
+val slice_program : function_labels:string list -> Sparc.Asm.item list -> slice list
+(** Split a program's text at function labels.  Items before the first
+    function label are dropped (there are none in compiler output). *)
+
+val lift_slice : slice -> Tac.instr list
+(** @raise Error on constructs that cannot appear in pre-assembly
+    compiler output (absolute branch targets). *)

@@ -1,0 +1,72 @@
+(** Static single assignment construction (Cytron et al., as cited by
+    the paper §4.1): iterated-dominance-frontier phi placement and
+    dominator-tree renaming.
+
+    Every name has an implicit version-0 definition at function entry,
+    so uninitialized paths are well-formed.  Calls define fresh versions
+    of their clobbered registers and of any [extra_call_defs] pseudo
+    names (matched globals that the callee might write). *)
+
+type var = { name : Tac.name; version : int }
+
+val var_equal : var -> var -> bool
+val var_compare : var -> var -> int
+
+type operand = Ovar of var | Oimm of int | Olab of string * int
+
+type rhs =
+  | Mov of operand
+  | Bin of Sparc.Insn.alu * operand * operand
+  | Load of { base : operand; off : operand; width : Sparc.Insn.width }
+  | Callret
+
+type phi = { dst : var; args : (int * var) list }
+(** [args] pairs a predecessor block id with the version flowing in. *)
+
+type instr =
+  | Def of { dst : var; rhs : rhs; origin : int }
+  | Store of {
+      base : operand;
+      off : operand;
+      src : operand;
+      width : Sparc.Insn.width;
+      origin : int;
+    }
+  | Assert of { dst : var; src : var; rel : Tac.relop; bound : operand; origin : int }
+  | Call of { target : string; defs : var list; origin : int }
+  | Effect of { defs : var list; origin : int }
+  | Control of { origin : int }
+
+type block = { mutable phis : phi list; mutable body : instr list }
+
+type def_site =
+  | Dphi of int * phi
+  | Dinstr of int * instr
+  | Dentry
+
+type t = {
+  cfg : Cfg.t;
+  dom : Dominance.t;
+  blocks : block array;
+  live_in : (int * (Tac.name * var) list) list;
+  defs : (var, def_site) Hashtbl.t;
+}
+
+val construct : ?extra_call_defs:Tac.name list -> Cfg.t -> Dominance.t -> t
+
+val block : t -> int -> block
+
+val live_in_var : t -> int -> Tac.name -> var
+(** The version of [name] reaching the start of a block (before its
+    phis) — used to decide whether a bound expression is evaluable in a
+    loop pre-header. *)
+
+val def_site : t -> var -> def_site option
+
+val instr_uses : instr -> var list
+val instr_defs : instr -> var list
+
+val iter_instrs : t -> (int -> [ `Phi of phi | `Instr of instr ] -> unit) -> unit
+
+val pp_var : Format.formatter -> var -> unit
+val pp_operand : Format.formatter -> operand -> unit

@@ -1,0 +1,152 @@
+open Sparc
+
+type name =
+  | Machine of Reg.t
+  | Pseudo of string
+
+type operand =
+  | Name of name
+  | Imm of int
+  | Lab of string * int
+
+type relop = Req | Rlt | Rle | Rgt | Rge
+
+type rhs =
+  | Mov of operand
+  | Bin of Insn.alu * operand * operand
+  | Load of { base : operand; off : operand; width : Insn.width }
+  | Callret
+
+type instr =
+  | Label of string
+  | Def of { dst : name; rhs : rhs; origin : int }
+  | Store of {
+      base : operand;
+      off : operand;
+      src : operand;
+      width : Insn.width;
+      origin : int;
+    }
+  | Assert of { dst : name; src : name; rel : relop; bound : operand; origin : int }
+  | Branch of {
+      cond : Cond.t;
+      target : string;
+      compare : (operand * operand) option;
+      origin : int;
+    }
+  | Jump of { target : string; origin : int }
+  | Call of { target : string; origin : int }
+  | Ret of { origin : int }
+  | Effect of { origin : int }  (* trap or other opaque instruction *)
+
+let name_equal a b =
+  match a, b with
+  | Machine r1, Machine r2 -> Reg.equal r1 r2
+  | Pseudo s1, Pseudo s2 -> String.equal s1 s2
+  | (Machine _ | Pseudo _), _ -> false
+
+let name_compare a b =
+  match a, b with
+  | Machine r1, Machine r2 -> Reg.compare r1 r2
+  | Pseudo s1, Pseudo s2 -> String.compare s1 s2
+  | Machine _, Pseudo _ -> -1
+  | Pseudo _, Machine _ -> 1
+
+let operand_names = function
+  | Name n -> [ n ]
+  | Imm _ | Lab _ -> []
+
+(* Registers conservatively clobbered by a call: the out registers
+   (shared with the callee's ins), the scratch globals, and %o7. *)
+let call_clobbered_regs =
+  List.map (fun i -> Machine (Reg.o i)) [ 0; 1; 2; 3; 4; 5; 7 ]
+  @ [ Machine (Reg.g 1); Machine (Reg.g 2); Machine (Reg.g 3) ]
+
+let uses = function
+  | Label _ -> []
+  | Def { rhs; _ } -> (
+    match rhs with
+    | Mov op -> operand_names op
+    | Bin (_, a, b) -> operand_names a @ operand_names b
+    | Load { base; off; _ } -> operand_names base @ operand_names off
+    | Callret -> [])
+  | Store { base; off; src; _ } ->
+    operand_names base @ operand_names off @ operand_names src
+  | Assert { src; bound; _ } -> src :: operand_names bound
+  | Branch { compare; _ } -> (
+    match compare with
+    | Some (a, b) -> operand_names a @ operand_names b
+    | None -> [])
+  | Jump _ -> []
+  | Call _ ->
+    (* Arguments are read by the callee. *)
+    List.map (fun i -> Machine (Reg.o i)) [ 0; 1; 2; 3; 4; 5 ]
+  | Ret _ -> [ Machine (Reg.i_ 0) ]
+  | Effect _ -> [ Machine (Reg.o 0) ]
+
+(* [extra_call_defs] lets the client extend call clobbers with pseudo
+   names the callee might redefine (e.g. matched globals). *)
+let defs ?(extra_call_defs = []) = function
+  | Label _ -> []
+  | Def { dst; _ } -> [ dst ]
+  | Store _ -> []
+  | Assert { dst; _ } -> [ dst ]
+  | Branch _ | Jump _ | Ret _ -> []
+  | Call _ -> call_clobbered_regs @ extra_call_defs
+  | Effect _ -> [ Machine (Reg.o 0) ]
+
+let origin = function
+  | Label _ -> None
+  | Def { origin; _ }
+  | Store { origin; _ }
+  | Assert { origin; _ }
+  | Branch { origin; _ }
+  | Jump { origin; _ }
+  | Call { origin; _ }
+  | Ret { origin; _ }
+  | Effect { origin; _ } ->
+    Some origin
+
+let relop_to_string = function
+  | Req -> "=="
+  | Rlt -> "<"
+  | Rle -> "<="
+  | Rgt -> ">"
+  | Rge -> ">="
+
+let pp_name ppf = function
+  | Machine r -> Reg.pp ppf r
+  | Pseudo s -> Fmt.pf ppf "$%s" s
+
+let pp_operand ppf = function
+  | Name n -> pp_name ppf n
+  | Imm i -> Fmt.int ppf i
+  | Lab (l, 0) -> Fmt.pf ppf "&%s" l
+  | Lab (l, o) -> Fmt.pf ppf "&%s%+d" l o
+
+let pp_rhs ppf = function
+  | Mov op -> pp_operand ppf op
+  | Bin (op, a, b) ->
+    Fmt.pf ppf "%a %s %a" pp_operand a (Insn.alu_to_string op) pp_operand b
+  | Load { base; off; _ } -> Fmt.pf ppf "mem[%a + %a]" pp_operand base pp_operand off
+  | Callret -> Fmt.string ppf "callret"
+
+let pp ppf = function
+  | Label l -> Fmt.pf ppf "%s:" l
+  | Def { dst; rhs; _ } -> Fmt.pf ppf "  %a := %a" pp_name dst pp_rhs rhs
+  | Store { base; off; src; _ } ->
+    Fmt.pf ppf "  mem[%a + %a] := %a" pp_operand base pp_operand off pp_operand
+      src
+  | Assert { dst; src; rel; bound; _ } ->
+    Fmt.pf ppf "  %a := assert(%a %s %a)" pp_name dst pp_name src
+      (relop_to_string rel) pp_operand bound
+  | Branch { cond; target; compare; _ } -> (
+    match compare with
+    | Some (a, b) ->
+      Fmt.pf ppf "  if %a %s %a goto %s" pp_operand a (Cond.to_string cond)
+        pp_operand b target
+    | None -> Fmt.pf ppf "  b%s %s" (Cond.to_string cond) target)
+  | Jump { target; _ } -> Fmt.pf ppf "  goto %s" target
+  | Call { target; _ } -> Fmt.pf ppf "  call %s" target
+  | Ret _ -> Fmt.pf ppf "  ret"
+  | Effect _ -> Fmt.pf ppf "  effect"

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Assembler Buffer Cache Char Cond Format Hashtbl Insn List Memory Reg Sparc String Windows Word

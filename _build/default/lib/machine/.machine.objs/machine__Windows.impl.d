@@ -1,0 +1,1 @@
+lib/machine/windows.ml: Array List Reg Sparc Word

@@ -1,0 +1,1 @@
+lib/machine/windows.mli: Sparc

@@ -1,0 +1,48 @@
+open Sparc
+
+type t = {
+  line_bits : int;
+  lines : int;
+  tags : int array;
+  valid : bool array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size_bytes = 64 * 1024) ?(line_bytes = 32) () =
+  if size_bytes mod line_bytes <> 0 then invalid_arg "Cache.create";
+  let lines = size_bytes / line_bytes in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  {
+    line_bits = log2 line_bytes;
+    lines;
+    tags = Array.make lines 0;
+    valid = Array.make lines false;
+    hits = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  let line_addr = Word.to_unsigned addr lsr t.line_bits in
+  let idx = line_addr mod t.lines in
+  if t.valid.(idx) && t.tags.(idx) = line_addr then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.valid.(idx) <- true;
+    t.tags.(idx) <- line_addr;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let flush t =
+  Array.fill t.valid 0 t.lines false;
+  reset_counters t

@@ -1,0 +1,22 @@
+(** Direct-mapped combined instruction/data cache simulator.
+
+    Mirrors the cache of the paper's SPARCstation: direct-mapped,
+    combined I+D, 32-byte lines (§3.3.1).  Only hit/miss behaviour is
+    modelled — contents live in {!Memory}. *)
+
+type t
+
+val create : ?size_bytes:int -> ?line_bytes:int -> unit -> t
+(** Defaults: 64 KiB, 32-byte lines.
+    @raise Invalid_argument if size is not a multiple of the line size. *)
+
+val access : t -> int -> bool
+(** Touch the line containing [addr]; returns [true] on hit and installs
+    the line on miss. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_counters : t -> unit
+
+val flush : t -> unit
+(** Invalidate all lines and reset counters. *)

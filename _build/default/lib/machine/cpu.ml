@@ -1,0 +1,394 @@
+open Sparc
+
+type config = {
+  cache_size : int;
+  line_bytes : int;
+  load_cycles : int;
+  store_cycles : int;
+  miss_penalty : int;
+  mul_cycles : int;
+  div_cycles : int;
+  trap_cycles : int;
+  spill_cycles : int;
+  nwindows : int;
+}
+
+let default_config =
+  {
+    cache_size = 64 * 1024;
+    line_bytes = 32;
+    load_cycles = 1;
+    store_cycles = 1;
+    miss_penalty = 10;
+    mul_cycles = 5;
+    div_cycles = 20;
+    trap_cycles = 50;
+    spill_cycles = 40;
+    nwindows = 8;
+  }
+
+exception Fault of { pc : int; reason : string }
+
+exception Out_of_fuel of { executed : int }
+
+type t = {
+  mem : Memory.t;
+  cache : Cache.t;
+  win : Windows.t;
+  mutable pc : int;
+  mutable icc : Cond.icc;
+  mutable halted : int option;
+  mutable ninstrs : int;
+  mutable cycles : int;
+  mutable nloads : int;
+  mutable nstores : int;
+  mutable nbranches : int;
+  mutable ntraps : int;
+  text : Insn.t array;
+  text_base : int;
+  traps : (int, t -> unit) Hashtbl.t;
+  probes : (int, (t -> unit) list ref) Hashtbl.t;
+  out : Buffer.t;
+  mutable brk : int;
+  config : config;
+  mutable store_hooks : (t -> addr:int -> width:Insn.width -> unit) list;
+  mutable load_hooks : (t -> addr:int -> width:Insn.width -> unit) list;
+}
+
+let faultf t fmt =
+  Format.kasprintf (fun reason -> raise (Fault { pc = t.pc; reason })) fmt
+
+let create ?(config = default_config) (image : Assembler.image) =
+  let mem = Memory.create () in
+  List.iter (fun (addr, v) -> Memory.write_word mem addr v) image.data_init;
+  let t =
+    {
+      mem;
+      cache = Cache.create ~size_bytes:config.cache_size ~line_bytes:config.line_bytes ();
+      win = Windows.create ~nwindows:config.nwindows ();
+      pc = image.entry;
+      icc = Cond.icc_zero;
+      halted = None;
+      ninstrs = 0;
+      cycles = 0;
+      nloads = 0;
+      nstores = 0;
+      nbranches = 0;
+      ntraps = 0;
+      text = Array.copy image.text;
+      text_base = image.text_base;
+      traps = Hashtbl.create 16;
+      probes = Hashtbl.create 64;
+      out = Buffer.create 256;
+      brk = (image.data_limit + 7) land lnot 7;
+      config;
+      store_hooks = [];
+      load_hooks = [];
+    }
+  in
+  Windows.set t.win Reg.sp 0x7FFF_FF00;
+  t
+
+let get t r = Windows.get t.win r
+let set t r v = Windows.set t.win r v
+
+let operand t = function
+  | Insn.Reg r -> get t r
+  | Insn.Imm i -> Word.norm i
+
+let on_trap t number handler = Hashtbl.replace t.traps number handler
+
+let add_probe t addr f =
+  match Hashtbl.find_opt t.probes addr with
+  | Some l -> l := f :: !l
+  | None -> Hashtbl.add t.probes addr (ref [ f ])
+
+let output t = Buffer.contents t.out
+let print_string t s = Buffer.add_string t.out s
+
+let sbrk t bytes =
+  let old = t.brk in
+  t.brk <- (t.brk + bytes + 7) land lnot 7;
+  old
+
+let text_index t addr =
+  let off = addr - t.text_base in
+  if off < 0 || off land 3 <> 0 || off / 4 >= Array.length t.text then
+    faultf t "pc 0x%x outside text" (Word.to_unsigned addr)
+  else off / 4
+
+let fetch_at t addr = t.text.(text_index t addr)
+
+let patch t addr insn = t.text.(text_index t addr) <- insn
+
+let add_cycles t n = t.cycles <- t.cycles + n
+
+let data_access t addr =
+  if not (Cache.access t.cache addr) then add_cycles t t.config.miss_penalty
+
+let alu_result t op a b =
+  match op with
+  | Insn.Add -> Word.add a b
+  | Insn.Sub -> Word.sub a b
+  | Insn.And -> Word.logand a b
+  | Insn.Or -> Word.logor a b
+  | Insn.Xor -> Word.logxor a b
+  | Insn.Andn -> Word.logand a (Word.lognot b)
+  | Insn.Orn -> Word.logor a (Word.lognot b)
+  | Insn.Xnor -> Word.lognot (Word.logxor a b)
+  | Insn.Sll -> Word.sll a b
+  | Insn.Srl -> Word.srl a b
+  | Insn.Sra -> Word.sra a b
+  | Insn.Smul ->
+    add_cycles t (t.config.mul_cycles - 1);
+    Word.mul a b
+  | Insn.Umul ->
+    add_cycles t (t.config.mul_cycles - 1);
+    Word.umul a b
+  | Insn.Sdiv ->
+    add_cycles t (t.config.div_cycles - 1);
+    (try Word.sdiv a b with Division_by_zero -> faultf t "division by zero")
+  | Insn.Udiv ->
+    add_cycles t (t.config.div_cycles - 1);
+    (try Word.udiv a b with Division_by_zero -> faultf t "division by zero")
+
+let set_icc t op a b r =
+  let n = r < 0 and z = r = 0 in
+  let v, c =
+    match op with
+    | Insn.Add -> (Word.add_overflow a b, Word.add_carry a b)
+    | Insn.Sub -> (Word.sub_overflow a b, Word.sub_carry a b)
+    | Insn.And | Insn.Or | Insn.Xor | Insn.Andn | Insn.Orn | Insn.Xnor
+    | Insn.Sll | Insn.Srl | Insn.Sra | Insn.Smul | Insn.Umul | Insn.Sdiv
+    | Insn.Udiv ->
+      (false, false)
+  in
+  t.icc <- { Cond.n; z; v; c }
+
+let resolved t = function
+  | Insn.Abs a -> a
+  | Insn.Sym s -> faultf t "unresolved label %s at runtime" s
+
+let pair_reg t rd =
+  let i = Reg.index rd in
+  if i land 1 <> 0 then faultf t "odd register %s in double access" (Reg.to_string rd)
+  else Reg.of_index (i + 1)
+
+let double_align t ea = if ea land 7 <> 0 then faultf t "misaligned double access 0x%x" ea
+
+let step t =
+  (match Hashtbl.find_opt t.probes t.pc with
+  | Some fs -> List.iter (fun f -> f t) (List.rev !fs)
+  | None -> ());
+  let insn = fetch_at t t.pc in
+  if not (Cache.access t.cache t.pc) then add_cycles t t.config.miss_penalty;
+  t.ninstrs <- t.ninstrs + 1;
+  add_cycles t 1;
+  let next = t.pc + 4 in
+  (match insn with
+  | Insn.Nop -> t.pc <- next
+  | Insn.Alu { op; cc; rs1; op2; rd } ->
+    let a = get t rs1 and b = operand t op2 in
+    let r = alu_result t op a b in
+    set t rd r;
+    if cc then set_icc t op a b r;
+    t.pc <- next
+  | Insn.Sethi { imm; rd } ->
+    set t rd (Word.norm (imm lsl 10));
+    t.pc <- next
+  | Insn.Ld { width; signed; rs1; off; rd } ->
+    let ea = Word.add (get t rs1) (operand t off) in
+    t.nloads <- t.nloads + 1;
+    add_cycles t t.config.load_cycles;
+    (try
+       (match width with
+       | Insn.Double ->
+         double_align t ea;
+         let odd = pair_reg t rd in
+         data_access t ea;
+         data_access t (ea + 4);
+         set t rd (Memory.read_word t.mem ea);
+         set t odd (Memory.read_word t.mem (ea + 4))
+       | Insn.Word | Insn.Byte | Insn.Half ->
+         data_access t ea;
+         let v =
+           if signed then Memory.read_signed t.mem ea width
+           else Memory.read_unsigned t.mem ea width
+         in
+         set t rd v)
+     with Memory.Misaligned { addr; width } ->
+       faultf t "misaligned %d-byte load at 0x%x" width (Word.to_unsigned addr));
+    List.iter (fun hook -> hook t ~addr:ea ~width) t.load_hooks;
+    t.pc <- next
+  | Insn.St { width; rd; rs1; off } ->
+    let ea = Word.add (get t rs1) (operand t off) in
+    t.nstores <- t.nstores + 1;
+    add_cycles t t.config.store_cycles;
+    (try
+       (match width with
+       | Insn.Double ->
+         double_align t ea;
+         let odd = pair_reg t rd in
+         data_access t ea;
+         data_access t (ea + 4);
+         Memory.write_word t.mem ea (get t rd);
+         Memory.write_word t.mem (ea + 4) (get t odd)
+       | Insn.Word ->
+         data_access t ea;
+         Memory.write_word t.mem ea (get t rd)
+       | Insn.Byte ->
+         data_access t ea;
+         Memory.write_byte t.mem ea (get t rd land 0xFF)
+       | Insn.Half ->
+         data_access t ea;
+         Memory.write_half t.mem ea (get t rd land 0xFFFF))
+     with Memory.Misaligned { addr; width } ->
+       faultf t "misaligned %d-byte store at 0x%x" width (Word.to_unsigned addr));
+    List.iter (fun hook -> hook t ~addr:ea ~width) t.store_hooks;
+    t.pc <- next
+  | Insn.Branch { cond; target } ->
+    t.nbranches <- t.nbranches + 1;
+    if Cond.eval cond t.icc then t.pc <- resolved t target else t.pc <- next
+  | Insn.Call { target } ->
+    set t Reg.o7 t.pc;
+    t.pc <- resolved t target
+  | Insn.Jmpl { rs1; off; rd } ->
+    let dest = Word.add (get t rs1) (operand t off) in
+    if dest land 3 <> 0 then faultf t "misaligned jump to 0x%x" (Word.to_unsigned dest);
+    set t rd t.pc;
+    t.pc <- dest
+  | Insn.Save { rs1; op2; rd } ->
+    let v = Word.add (get t rs1) (operand t op2) in
+    let spills = Windows.spills t.win in
+    Windows.save t.win;
+    if Windows.spills t.win > spills then add_cycles t t.config.spill_cycles;
+    set t rd v;
+    t.pc <- next
+  | Insn.Restore { rs1; op2; rd } ->
+    let v = Word.add (get t rs1) (operand t op2) in
+    let fills = Windows.fills t.win in
+    (try Windows.restore t.win
+     with Windows.Underflow -> faultf t "register window underflow");
+    if Windows.fills t.win > fills then add_cycles t t.config.spill_cycles;
+    set t rd v;
+    t.pc <- next
+  | Insn.Trap { number } ->
+    t.ntraps <- t.ntraps + 1;
+    add_cycles t t.config.trap_cycles;
+    t.pc <- next;
+    (match Hashtbl.find_opt t.traps number with
+    | Some handler -> handler t
+    | None -> faultf t "unhandled trap %d" number))
+
+let halt t code = t.halted <- Some code
+
+let run ?(fuel = 200_000_000) t =
+  let rec loop n =
+    match t.halted with
+    | Some code -> code
+    | None ->
+      if n >= fuel then raise (Out_of_fuel { executed = n })
+      else begin
+        step t;
+        loop (n + 1)
+      end
+  in
+  loop 0
+
+let install_basic_services t =
+  on_trap t 0 (fun t -> halt t (get t (Reg.o 0)));
+  on_trap t 1 (fun t -> print_string t (string_of_int (get t (Reg.o 0))));
+  on_trap t 2 (fun t ->
+      print_string t (String.make 1 (Char.chr (get t (Reg.o 0) land 0xFF))));
+  on_trap t 3 (fun t -> set t (Reg.o 0) (sbrk t (get t (Reg.o 0))))
+
+let mem t = t.mem
+let config t = t.config
+
+(* Checkpoint/replay support (the paper's §5 mentions checkpointing
+   data for replayed execution as a data-breakpoint application). *)
+type checkpoint = {
+  cp_mem : Memory.t;
+  cp_win : Windows.t;
+  cp_pc : int;
+  cp_icc : Cond.icc;
+  cp_halted : int option;
+  cp_ninstrs : int;
+  cp_cycles : int;
+  cp_nloads : int;
+  cp_nstores : int;
+  cp_nbranches : int;
+  cp_ntraps : int;
+  cp_text : Insn.t array;
+  cp_out : string;
+  cp_brk : int;
+}
+
+let checkpoint t =
+  {
+    cp_mem = Memory.snapshot t.mem;
+    cp_win = Windows.copy t.win;
+    cp_pc = t.pc;
+    cp_icc = t.icc;
+    cp_halted = t.halted;
+    cp_ninstrs = t.ninstrs;
+    cp_cycles = t.cycles;
+    cp_nloads = t.nloads;
+    cp_nstores = t.nstores;
+    cp_nbranches = t.nbranches;
+    cp_ntraps = t.ntraps;
+    cp_text = Array.copy t.text;
+    cp_out = Buffer.contents t.out;
+    cp_brk = t.brk;
+  }
+
+let rollback t cp =
+  Memory.restore t.mem cp.cp_mem;
+  Windows.restore_from t.win cp.cp_win;
+  t.pc <- cp.cp_pc;
+  t.icc <- cp.cp_icc;
+  t.halted <- cp.cp_halted;
+  t.ninstrs <- cp.cp_ninstrs;
+  t.cycles <- cp.cp_cycles;
+  t.nloads <- cp.cp_nloads;
+  t.nstores <- cp.cp_nstores;
+  t.nbranches <- cp.cp_nbranches;
+  t.ntraps <- cp.cp_ntraps;
+  Array.blit cp.cp_text 0 t.text 0 (Array.length t.text);
+  Buffer.clear t.out;
+  Buffer.add_string t.out cp.cp_out;
+  t.brk <- cp.cp_brk;
+  (* The cache holds no architectural state; flushing makes the replay
+     deterministic from the checkpoint. *)
+  Cache.flush t.cache
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let brk t = t.brk
+let halted t = t.halted
+let set_store_hook t hook = t.store_hooks <- t.store_hooks @ [ hook ]
+let set_load_hook t hook = t.load_hooks <- t.load_hooks @ [ hook ]
+
+type stats = {
+  instrs : int;
+  cycles : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  traps : int;
+  cache_hits : int;
+  cache_misses : int;
+  window_spills : int;
+}
+
+let stats t =
+  {
+    instrs = t.ninstrs;
+    cycles = t.cycles;
+    loads = t.nloads;
+    stores = t.nstores;
+    branches = t.nbranches;
+    traps = t.ntraps;
+    cache_hits = Cache.hits t.cache;
+    cache_misses = Cache.misses t.cache;
+    window_spills = Windows.spills t.win;
+  }

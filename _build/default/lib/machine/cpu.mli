@@ -1,0 +1,121 @@
+(** The SPARC-subset interpreter with cycle accounting.
+
+    Cycle model: every instruction costs one base cycle; loads/stores
+    add [load_cycles]/[store_cycles] plus [miss_penalty] per cache miss
+    (instruction fetch also goes through the combined cache);
+    multiplies, divides, traps and register-window spills add their
+    configured costs.  Overheads reported by the benchmark harness are
+    ratios of these cycle counts, standing in for the paper's wall-clock
+    ratios. *)
+
+type config = {
+  cache_size : int;
+  line_bytes : int;
+  load_cycles : int;    (** extra cycles for a load over the base cycle *)
+  store_cycles : int;
+  miss_penalty : int;
+  mul_cycles : int;
+  div_cycles : int;
+  trap_cycles : int;    (** cost of entering a [ta] trap *)
+  spill_cycles : int;   (** register-window overflow/underflow cost *)
+  nwindows : int;
+}
+
+val default_config : config
+
+exception Fault of { pc : int; reason : string }
+(** Irrecoverable machine fault: bad pc, misalignment, unresolved label,
+    unhandled trap, division by zero, window underflow. *)
+
+exception Out_of_fuel of { executed : int }
+
+type t
+
+val create : ?config:config -> Sparc.Assembler.image -> t
+(** Load an image: initialized data written to memory, [pc] at the
+    entry point, [%sp] at the stack top, heap break past static data. *)
+
+val get : t -> Sparc.Reg.t -> int
+val set : t -> Sparc.Reg.t -> int -> unit
+
+val step : t -> unit
+(** Execute one instruction. *)
+
+val run : ?fuel:int -> t -> int
+(** Run until the program halts (trap 0); returns the exit code.
+    @raise Out_of_fuel after [fuel] instructions (default 2·10{^8}). *)
+
+val halt : t -> int -> unit
+
+val on_trap : t -> int -> (t -> unit) -> unit
+(** Install a trap handler; the handler runs after [pc] has advanced
+    past the [ta] instruction. *)
+
+val install_basic_services : t -> unit
+(** Traps 0-3: exit, print-int, print-char, sbrk. *)
+
+val add_probe : t -> int -> (t -> unit) -> unit
+(** Run a zero-cost observer just before each execution of the
+    instruction at [addr] — used by the benchmark harness to count
+    events (e.g. segment-cache hits) without perturbing the simulation. *)
+
+val output : t -> string
+(** Everything the program printed via the print traps. *)
+
+val print_string : t -> string -> unit
+
+val sbrk : t -> int -> int
+(** Advance the heap break by [bytes] (rounded up to 8); returns the old
+    break. *)
+
+val fetch_at : t -> int -> Sparc.Insn.t
+(** @raise Fault if [addr] is outside text. *)
+
+val patch : t -> int -> Sparc.Insn.t -> unit
+(** Replace the decoded instruction at [addr] — the primitive beneath
+    Kessler-style fast-breakpoint patches. *)
+
+val add_cycles : t -> int -> unit
+(** Charge extra cycles (used by trap handlers modelling expensive
+    kernel paths, e.g. the dbx single-step comparison). *)
+
+(** Direct state access for services, the MRS runtime, and tests. *)
+
+val mem : t -> Memory.t
+val config : t -> config
+val pc : t -> int
+val set_pc : t -> int -> unit
+val brk : t -> int
+val halted : t -> int option
+val set_store_hook : t -> (t -> addr:int -> width:Sparc.Insn.width -> unit) -> unit
+(** Register an observer invoked after every executed store with its
+    effective address (the test oracle; the hardware-watchpoint
+    strategy).  Hooks compose: each registered hook runs in order. *)
+
+val set_load_hook : t -> (t -> addr:int -> width:Sparc.Insn.width -> unit) -> unit
+(** Same for loads (the read-monitoring oracle). *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the entire architectural state — memory, windows, pc, flags,
+    patched text, output, counters (§5: checkpointing for replayed
+    execution). *)
+
+val rollback : t -> checkpoint -> unit
+(** Restore a checkpoint; subsequent execution replays deterministically
+    (the cache is flushed, so cycle counts may differ slightly). *)
+
+type stats = {
+  instrs : int;
+  cycles : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  traps : int;
+  cache_hits : int;
+  cache_misses : int;
+  window_spills : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,98 @@
+open Sparc
+
+exception Misaligned of { addr : int; width : int }
+
+let page_bits = 12
+let page_words = 1 lsl (page_bits - 2)
+
+type t = { pages : (int, int array) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 1024 }
+
+let page_of t addr =
+  let key = Word.to_unsigned addr lsr page_bits in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+    let p = Array.make page_words 0 in
+    Hashtbl.add t.pages key p;
+    p
+
+(* Reads of never-written pages return zero without allocating. *)
+let page_ro t addr =
+  Hashtbl.find_opt t.pages (Word.to_unsigned addr lsr page_bits)
+
+let word_index addr = (Word.to_unsigned addr land ((1 lsl page_bits) - 1)) lsr 2
+
+let check_align addr width =
+  if Word.to_unsigned addr land (width - 1) <> 0 then
+    raise (Misaligned { addr; width })
+
+let read_word t addr =
+  check_align addr 4;
+  match page_ro t addr with
+  | None -> 0
+  | Some p -> p.(word_index addr)
+
+let write_word t addr v =
+  check_align addr 4;
+  (page_of t addr).(word_index addr) <- Word.norm v
+
+let read_byte t addr =
+  let w = read_word t (addr land lnot 3) in
+  (* Big-endian byte order, as on SPARC. *)
+  let shift = (3 - (Word.to_unsigned addr land 3)) * 8 in
+  (Word.to_unsigned w lsr shift) land 0xFF
+
+let write_byte t addr v =
+  let base = addr land lnot 3 in
+  let w = Word.to_unsigned (read_word t base) in
+  let shift = (3 - (Word.to_unsigned addr land 3)) * 8 in
+  let mask = lnot (0xFF lsl shift) land 0xFFFFFFFF in
+  write_word t base ((w land mask) lor ((v land 0xFF) lsl shift))
+
+let read_half t addr =
+  check_align addr 2;
+  let hi = read_byte t addr and lo = read_byte t (addr + 1) in
+  (hi lsl 8) lor lo
+
+let write_half t addr v =
+  check_align addr 2;
+  write_byte t addr (v lsr 8);
+  write_byte t (addr + 1) v
+
+let read_signed t addr = function
+  | Insn.Word -> read_word t addr
+  | Insn.Byte ->
+    let b = read_byte t addr in
+    if b land 0x80 <> 0 then b - 0x100 else b
+  | Insn.Half ->
+    let h = read_half t addr in
+    if h land 0x8000 <> 0 then h - 0x10000 else h
+  | Insn.Double -> invalid_arg "Memory.read_signed: Double"
+
+let read_unsigned t addr = function
+  | Insn.Word -> read_word t addr
+  | Insn.Byte -> read_byte t addr
+  | Insn.Half -> read_half t addr
+  | Insn.Double -> invalid_arg "Memory.read_unsigned: Double"
+
+let snapshot t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun k page -> Hashtbl.replace pages k (Array.copy page)) t.pages;
+  { pages }
+
+let restore t snap =
+  Hashtbl.reset t.pages;
+  Hashtbl.iter (fun k page -> Hashtbl.replace t.pages k (Array.copy page)) snap.pages
+
+let allocated_words t =
+  Hashtbl.length t.pages * page_words
+
+let iter_written t f =
+  Hashtbl.iter
+    (fun key page ->
+      Array.iteri
+        (fun i v -> if v <> 0 then f ((key lsl page_bits) + (i * 4)) v)
+        page)
+    t.pages

@@ -1,0 +1,46 @@
+(** Sparse simulated memory.
+
+    The full 32-bit address space is available; 4-KiB pages are
+    materialized on first write, and reads of untouched pages return
+    zero.  Byte order is big-endian, as on SPARC.  Values are stored in
+    {!Sparc.Word} normalized form. *)
+
+exception Misaligned of { addr : int; width : int }
+
+type t
+
+val create : unit -> t
+
+val read_word : t -> int -> int
+(** @raise Misaligned unless [addr] is 4-byte aligned. *)
+
+val write_word : t -> int -> int -> unit
+
+val read_byte : t -> int -> int
+(** Unsigned byte in [0, 256). *)
+
+val write_byte : t -> int -> int -> unit
+
+val read_half : t -> int -> int
+(** Unsigned halfword. @raise Misaligned unless 2-byte aligned. *)
+
+val write_half : t -> int -> int -> unit
+
+val read_signed : t -> int -> Sparc.Insn.width -> int
+(** Sign-extending sub-word read.  Word width reads the full word.
+    @raise Invalid_argument for [Double] (handled by the CPU as a pair). *)
+
+val read_unsigned : t -> int -> Sparc.Insn.width -> int
+
+val snapshot : t -> t
+(** A deep copy (checkpointing support). *)
+
+val restore : t -> t -> unit
+(** Overwrite [t]'s contents with a snapshot's. *)
+
+val allocated_words : t -> int
+(** Number of words in materialized pages — the denominator for the
+    segmented bitmap's ~3% space-overhead figure. *)
+
+val iter_written : t -> (int -> int -> unit) -> unit
+(** Iterate over non-zero words of materialized pages. *)

@@ -1,0 +1,126 @@
+open Sparc
+
+exception Underflow
+
+type frame = { locals : int array; ins : int array; outs : int array }
+
+type t = {
+  globals : int array;
+  mutable frames : frame list;
+  nwindows : int;
+  mutable depth : int;
+  mutable resident : int;  (* windows currently in the register file *)
+  mutable spills : int;
+  mutable fills : int;
+}
+
+let fresh_frame ins =
+  { locals = Array.make 8 0; ins; outs = Array.make 8 0 }
+
+let create ?(nwindows = 8) () =
+  {
+    globals = Array.make 8 0;
+    frames = [ fresh_frame (Array.make 8 0) ];
+    nwindows;
+    depth = 1;
+    resident = 1;
+    spills = 0;
+    fills = 0;
+  }
+
+let current t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> raise Underflow
+
+let get t r =
+  match r with
+  | Reg.G 0 -> 0
+  | Reg.G i -> t.globals.(i)
+  | Reg.O i -> (current t).outs.(i)
+  | Reg.L i -> (current t).locals.(i)
+  | Reg.I i -> (current t).ins.(i)
+
+let set t r v =
+  let v = Word.norm v in
+  match r with
+  | Reg.G 0 -> ()
+  | Reg.G i -> t.globals.(i) <- v
+  | Reg.O i -> (current t).outs.(i) <- v
+  | Reg.L i -> (current t).locals.(i) <- v
+  | Reg.I i -> (current t).ins.(i) <- v
+
+(* The child window's ins ARE the parent's outs: sharing the array gives
+   the SPARC register-window overlap for free.  All frames are retained,
+   so window overflow only costs cycles, never correctness.
+
+   The overflow model matches real hardware behaviour: [resident] counts
+   windows held in the register file.  A save with the file full spills
+   the oldest window (one trap); a restore whose target window was
+   spilled fills it back (one trap).  Oscillating call/return at a fixed
+   depth beyond [nwindows] is therefore free after the first crossing,
+   as on a real SPARC. *)
+let save t =
+  let parent = current t in
+  t.frames <- fresh_frame parent.outs :: t.frames;
+  t.depth <- t.depth + 1;
+  if t.resident >= t.nwindows then t.spills <- t.spills + 1
+  else t.resident <- t.resident + 1
+
+let restore t =
+  match t.frames with
+  | [] | [ _ ] -> raise Underflow
+  | _ :: rest ->
+    t.frames <- rest;
+    t.depth <- t.depth - 1;
+    if t.resident <= 1 then t.fills <- t.fills + 1
+    else t.resident <- t.resident - 1
+
+(* Did the last save/restore cross the overflow boundary?  The CPU
+   charges spill cycles based on the counters' deltas. *)
+(* Deep copy that preserves the in/out overlap: rebuild from the oldest
+   frame, threading each copied outs array into the next frame's ins. *)
+let copy t =
+  let oldest_first = List.rev t.frames in
+  let copied =
+    match oldest_first with
+    | [] -> []
+    | first :: rest ->
+      let first' =
+        { locals = Array.copy first.locals; ins = Array.copy first.ins;
+          outs = Array.copy first.outs }
+      in
+      let _, acc =
+        List.fold_left
+          (fun (parent, acc) f ->
+            let f' =
+              { locals = Array.copy f.locals; ins = parent.outs;
+                outs = Array.copy f.outs }
+            in
+            (f', f' :: acc))
+          (first', [ first' ]) rest
+      in
+      acc
+  in
+  {
+    globals = Array.copy t.globals;
+    frames = copied;
+    nwindows = t.nwindows;
+    depth = t.depth;
+    resident = t.resident;
+    spills = t.spills;
+    fills = t.fills;
+  }
+
+let restore_from t snap =
+  let s = copy snap in
+  Array.blit s.globals 0 t.globals 0 8;
+  t.frames <- s.frames;
+  t.depth <- s.depth;
+  t.resident <- s.resident;
+  t.spills <- s.spills;
+  t.fills <- s.fills
+
+let depth t = t.depth
+let spills t = t.spills
+let fills t = t.fills

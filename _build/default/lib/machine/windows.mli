@@ -1,0 +1,34 @@
+(** The SPARC windowed register file.
+
+    [save] pushes a window whose {i in} registers alias the caller's
+    {i out} registers; [restore] pops it.  All windows are retained in
+    memory, so overflow past [nwindows] never loses data — it is counted
+    in {!spills}/{!fills} and charged as cycles by the CPU, standing in
+    for the window overflow/underflow trap handlers of a real kernel. *)
+
+exception Underflow
+(** Raised by [restore] on the outermost window, or register access with
+    no window (cannot happen after {!create}). *)
+
+type t
+
+val create : ?nwindows:int -> unit -> t
+(** Default [nwindows] is 8, as on the paper's SPARCstation. *)
+
+val get : t -> Sparc.Reg.t -> int
+(** [%g0] reads as zero. *)
+
+val set : t -> Sparc.Reg.t -> int -> unit
+(** Writes to [%g0] are discarded; values are normalized. *)
+
+val save : t -> unit
+val restore : t -> unit
+
+val copy : t -> t
+(** Deep copy preserving the window overlap structure (checkpointing). *)
+
+val restore_from : t -> t -> unit
+
+val depth : t -> int
+val spills : t -> int
+val fills : t -> int

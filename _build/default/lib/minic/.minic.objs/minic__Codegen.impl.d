@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Asm Ast Char Cond Format Hashtbl Insn List Option Printf Reg Sparc String Symtab Typecheck

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Codegen Lexer Machine Parser Printf Runtime Sparc Typecheck

@@ -1,0 +1,776 @@
+open Sparc
+open Typecheck
+
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* Register conventions of the naive debug compiler:
+   - %l0-%l5: expression evaluation stack (spills past six deep)
+   - %l6,%l7: the first two [register]-class locals
+   - %o0-%o5: outgoing arguments, loaded immediately before each call
+   - %o3-%o5: transient scratch (dead at every store site)
+   - %g1-%g7: never touched — all seven globals are available for the
+     monitored region service to reserve (caches, flags, target address) *)
+
+let expr_stack_regs = [| Reg.l 0; Reg.l 1; Reg.l 2; Reg.l 3; Reg.l 4; Reg.l 5 |]
+let register_var_regs = [ Reg.l 6; Reg.l 7 ]
+let scratch1 = Reg.o 3
+let scratch2 = Reg.o 4
+let scratch3 = Reg.o 5
+
+let max_spill = 32
+
+type loc = Lreg of Reg.t | Lspill of int  (* fp offset *)
+
+type gctx = {
+  structs : (string * (string * Ast.typ) list) list;
+  global_types : (string, Ast.typ) Hashtbl.t;
+  mutable label_counter : int;
+}
+
+type fctx = {
+  g : gctx;
+  fname : string;
+  offsets : (string, int) Hashtbl.t;
+  regvars : (string, Reg.t) Hashtbl.t;
+  local_types : (string, Ast.typ) Hashtbl.t;
+  spill_base : int;
+  frame : int;
+  mutable depth : int;
+  mutable code : Asm.item list;  (* reversed *)
+  mutable loops : (string * string) list;  (* break, continue *)
+}
+
+let emit f item = f.code <- item :: f.code
+let emit_insn f insn = emit f (Asm.Insn insn)
+let emit_insns f insns = List.iter (emit_insn f) insns
+
+let fresh_label f tag =
+  f.g.label_counter <- f.g.label_counter + 1;
+  Printf.sprintf ".L%s_%s%d" f.fname tag f.g.label_counter
+
+(* --- expression stack --------------------------------------------------- *)
+
+let loc_of_depth f d =
+  if d < Array.length expr_stack_regs then Lreg expr_stack_regs.(d)
+  else begin
+    let slot = d - Array.length expr_stack_regs in
+    if slot >= max_spill then errorf "%s: expression too deep" f.fname;
+    Lspill (f.spill_base - (4 * slot))
+  end
+
+let push f =
+  let loc = loc_of_depth f f.depth in
+  f.depth <- f.depth + 1;
+  loc
+
+let pop f =
+  if f.depth = 0 then errorf "%s: internal stack underflow" f.fname;
+  f.depth <- f.depth - 1;
+  loc_of_depth f f.depth
+
+(* Materialize a stack location into a register, loading spills into the
+   given scratch register. *)
+let into_reg f loc scratch =
+  match loc with
+  | Lreg r -> r
+  | Lspill off ->
+    emit_insn f (Asm.ld Reg.fp (Insn.Imm off) scratch);
+    scratch
+
+(* Run [gen] with a register destination, storing to the spill slot
+   afterwards when the target is spilled. *)
+let with_dest f loc gen =
+  match loc with
+  | Lreg r -> gen r
+  | Lspill off ->
+    gen scratch1;
+    emit_insn f (Asm.st scratch1 Reg.fp (Insn.Imm off))
+
+(* --- types and sizes ------------------------------------------------------ *)
+
+let struct_size g name =
+  match List.assoc_opt name g.structs with
+  | Some fields -> List.length fields
+  | None -> errorf "unknown struct %s" name
+
+let rec size_words g = function
+  | Ast.Tint | Ast.Tptr _ -> 1
+  | Ast.Tstruct s -> struct_size g s
+  | Ast.Tarray (t, n) -> n * size_words g t
+
+let elem_size_bytes g = function
+  | Ast.Tptr t | Ast.Tarray (t, _) -> 4 * size_words g t
+  | Ast.Tint | Ast.Tstruct _ -> 4
+
+let is_ptr = function
+  | Ast.Tptr _ | Ast.Tarray _ -> true
+  | Ast.Tint | Ast.Tstruct _ -> false
+
+let var_kind f name =
+  if Hashtbl.mem f.regvars name then `Register (Hashtbl.find f.regvars name)
+  else if Hashtbl.mem f.offsets name then `Stack (Hashtbl.find f.offsets name)
+  else if Hashtbl.mem f.g.global_types name then `Global
+  else errorf "%s: unknown variable %s" f.fname name
+
+(* Multiply the value in [r] by constant [n] in place. *)
+let scale_reg f r n =
+  if n = 1 then ()
+  else begin
+    let rec log2 v = if v <= 1 then 0 else 1 + log2 (v / 2) in
+    if n > 0 && n land (n - 1) = 0 then
+      emit_insn f (Asm.sll r (Insn.Imm (log2 n)) r)
+    else begin
+      (* scratch3 so that [r] may itself be scratch1 or scratch2. *)
+      emit_insns f (Asm.set n scratch3);
+      emit_insn f (Asm.smul r (Insn.Reg scratch3) r)
+    end
+  end
+
+(* --- expressions ----------------------------------------------------------- *)
+
+let cond_of_binop = function
+  | Ast.Eq -> Cond.E
+  | Ast.Ne -> Cond.Ne
+  | Ast.Lt -> Cond.L
+  | Ast.Le -> Cond.Le
+  | Ast.Gt -> Cond.G
+  | Ast.Ge -> Cond.Ge
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr | Ast.Land | Ast.Lor ->
+    invalid_arg "cond_of_binop"
+
+let alu_of_binop = function
+  | Ast.Add -> Insn.Add
+  | Ast.Sub -> Insn.Sub
+  | Ast.Mul -> Insn.Smul
+  | Ast.Div -> Insn.Sdiv
+  | Ast.Band -> Insn.And
+  | Ast.Bor -> Insn.Or
+  | Ast.Bxor -> Insn.Xor
+  | Ast.Shl -> Insn.Sll
+  | Ast.Shr -> Insn.Sra
+  | Ast.Mod | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land
+  | Ast.Lor ->
+    invalid_arg "alu_of_binop"
+
+(* Literal operands small enough for a simm13 immediate avoid a
+   materializing mov, matching real debug-compiler output. *)
+let as_imm (e : texpr) =
+  match e.desc with
+  | Tint_lit v when Asm.fits_simm13 v -> Some v
+  | _ -> None
+
+let rec gen_expr f (e : texpr) : unit =
+  match e.desc with
+  | Tint_lit v ->
+    let dst = push f in
+    with_dest f dst (fun r -> emit_insns f (Asm.set v r))
+  | Tvar name -> (
+    match var_kind f name with
+    | `Register r ->
+      let dst = push f in
+      with_dest f dst (fun d -> emit_insn f (Asm.mov (Insn.Reg r) d))
+    | `Stack off -> (
+      match e.typ with
+      | Ast.Tarray _ | Ast.Tstruct _ ->
+        (* Decay to the address. *)
+        let dst = push f in
+        with_dest f dst (fun d -> emit_insn f (Asm.add Reg.fp (Insn.Imm off) d))
+      | Ast.Tint | Ast.Tptr _ ->
+        let dst = push f in
+        with_dest f dst (fun d -> emit_insn f (Asm.ld Reg.fp (Insn.Imm off) d)))
+    | `Global -> (
+      match e.typ with
+      | Ast.Tarray _ | Ast.Tstruct _ ->
+        let dst = push f in
+        with_dest f dst (fun d ->
+            emit f (Asm.Set_label { label = name; offset = 0; rd = d }))
+      | Ast.Tint | Ast.Tptr _ ->
+        let dst = push f in
+        with_dest f dst (fun d ->
+            emit f (Asm.Set_label { label = name; offset = 0; rd = d });
+            emit_insn f (Asm.ld d (Insn.Imm 0) d))))
+  | Tbinop (op, a, b) -> gen_binop f op a b
+  | Tunop (op, a) -> gen_unop f op a
+  | Tcall (name, args) ->
+    gen_args f args;
+    emit_insn f (Asm.call name);
+    emit_insn f Asm.nop;
+    let dst = push f in
+    with_dest f dst (fun d -> emit_insn f (Asm.mov (Insn.Reg (Reg.o 0)) d))
+  | Tbuiltin (b, args) -> gen_builtin f b args
+  | Tindex _ | Tfield _ | Tderef _ ->
+    gen_addr f e;
+    let a = pop f in
+    let dst = push f in
+    let ra = into_reg f a scratch1 in
+    with_dest f dst (fun d -> emit_insn f (Asm.ld ra (Insn.Imm 0) d))
+  | Taddr inner -> gen_addr f inner
+
+(* Push the address of an lvalue expression. *)
+and gen_addr f (e : texpr) : unit =
+  match e.desc with
+  | Tvar name -> (
+    match var_kind f name with
+    | `Register _ -> errorf "%s: address of register variable %s" f.fname name
+    | `Stack off ->
+      let dst = push f in
+      with_dest f dst (fun d -> emit_insn f (Asm.add Reg.fp (Insn.Imm off) d))
+    | `Global ->
+      let dst = push f in
+      with_dest f dst (fun d ->
+          emit f (Asm.Set_label { label = name; offset = 0; rd = d })))
+  | Tindex (base, idx) -> (
+    let scale = elem_size_bytes f.g base.typ in
+    match as_imm idx with
+    | Some v when Asm.fits_simm13 (v * scale) ->
+      gen_addr_or_value f base;
+      let lb = pop f in
+      let dst = push f in
+      let rb = into_reg f lb scratch2 in
+      with_dest f dst (fun d -> emit_insn f (Asm.add rb (Insn.Imm (v * scale)) d))
+    | Some _ | None ->
+      gen_addr_or_value f base;
+      gen_expr f idx;
+      let li = pop f in
+      let lb = pop f in
+      let dst = push f in
+      let ri = into_reg f li scratch1 in
+      scale_reg f ri scale;
+      let rb = into_reg f lb scratch2 in
+      with_dest f dst (fun d -> emit_insn f (Asm.add rb (Insn.Reg ri) d)))
+  | Tfield (base, _, word_off) ->
+    (match base.desc with
+    | Tderef p -> gen_expr f p
+    | _ -> gen_addr f base);
+    let lb = pop f in
+    let dst = push f in
+    let rb = into_reg f lb scratch1 in
+    with_dest f dst (fun d -> emit_insn f (Asm.add rb (Insn.Imm (4 * word_off)) d))
+  | Tderef p -> gen_expr f p
+  | Tint_lit _ | Tbinop _ | Tunop _ | Tcall _ | Tbuiltin _ | Taddr _ ->
+    errorf "%s: not an lvalue" f.fname
+
+(* For an array-typed base expression, its "value" is its address —
+   [gen_expr] already implements the decay for variables, the only
+   array-typed expressions mini-C can produce. *)
+and gen_addr_or_value f (base : texpr) = gen_expr f base
+
+and gen_binop f op a b =
+  match op with
+  | Ast.Land ->
+    let out = fresh_label f "and_out" in
+    let false_ = fresh_label f "and_false" in
+    gen_expr f a;
+    let la = pop f in
+    let ra = into_reg f la scratch1 in
+    emit_insn f (Asm.tst ra);
+    emit_insn f (Asm.branch Cond.E false_);
+    gen_expr f b;
+    let lb = pop f in
+    let rb = into_reg f lb scratch1 in
+    emit_insn f (Asm.tst rb);
+    emit_insn f (Asm.branch Cond.E false_);
+    let dst = push f in
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.mov (Insn.Imm 1) d);
+        emit_insn f (Asm.ba out);
+        emit f (Asm.Label false_);
+        emit_insn f (Asm.mov (Insn.Imm 0) d);
+        emit f (Asm.Label out))
+  | Ast.Lor ->
+    let out = fresh_label f "or_out" in
+    let true_ = fresh_label f "or_true" in
+    gen_expr f a;
+    let la = pop f in
+    let ra = into_reg f la scratch1 in
+    emit_insn f (Asm.tst ra);
+    emit_insn f (Asm.branch Cond.Ne true_);
+    gen_expr f b;
+    let lb = pop f in
+    let rb = into_reg f lb scratch1 in
+    emit_insn f (Asm.tst rb);
+    emit_insn f (Asm.branch Cond.Ne true_);
+    let dst = push f in
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.mov (Insn.Imm 0) d);
+        emit_insn f (Asm.ba out);
+        emit f (Asm.Label true_);
+        emit_insn f (Asm.mov (Insn.Imm 1) d);
+        emit f (Asm.Label out))
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    let dst =
+      match as_imm b with
+      | Some v ->
+        gen_expr f a;
+        let la = pop f in
+        let dst = push f in
+        let ra = into_reg f la scratch1 in
+        emit_insn f (Asm.cmp ra (Insn.Imm v));
+        dst
+      | None ->
+        gen_expr f a;
+        gen_expr f b;
+        let lb = pop f in
+        let la = pop f in
+        let dst = push f in
+        let rb = into_reg f lb scratch2 in
+        let ra = into_reg f la scratch1 in
+        emit_insn f (Asm.cmp ra (Insn.Reg rb));
+        dst
+    in
+    let yes = fresh_label f "cmp" in
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.mov (Insn.Imm 1) d);
+        emit_insn f (Asm.branch (cond_of_binop op) yes);
+        emit_insn f (Asm.mov (Insn.Imm 0) d);
+        emit f (Asm.Label yes))
+  | Ast.Mod ->
+    (* a - (a/b)*b *)
+    gen_expr f a;
+    gen_expr f b;
+    let lb = pop f in
+    let la = pop f in
+    let dst = push f in
+    let rb = into_reg f lb scratch2 in
+    let ra = into_reg f la scratch1 in
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.sdiv ra (Insn.Reg rb) scratch3);
+        emit_insn f (Asm.smul scratch3 (Insn.Reg rb) scratch3);
+        emit_insn f (Asm.sub ra (Insn.Reg scratch3) d))
+  | Ast.Add | Ast.Sub
+    when is_ptr a.typ || is_ptr b.typ ->
+    gen_ptr_arith f op a b
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Band | Ast.Bor | Ast.Bxor
+  | Ast.Shl | Ast.Shr -> (
+    match as_imm b with
+    | Some v ->
+      gen_expr f a;
+      let la = pop f in
+      let dst = push f in
+      let ra = into_reg f la scratch1 in
+      with_dest f dst (fun d ->
+          emit_insn f (Asm.alu (alu_of_binop op) ra (Insn.Imm v) d))
+    | None ->
+      gen_expr f a;
+      gen_expr f b;
+      let lb = pop f in
+      let la = pop f in
+      let dst = push f in
+      let rb = into_reg f lb scratch2 in
+      let ra = into_reg f la scratch1 in
+      with_dest f dst (fun d ->
+          emit_insn f (Asm.alu (alu_of_binop op) ra (Insn.Reg rb) d)))
+
+and gen_ptr_arith f op a b =
+  let scale = elem_size_bytes f.g (if is_ptr a.typ then a.typ else b.typ) in
+  match op, is_ptr a.typ, is_ptr b.typ with
+  | Ast.Sub, true, true ->
+    (* pointer difference: (a - b) / scale *)
+    gen_addr_or_value f a;
+    gen_addr_or_value f b;
+    let lb = pop f in
+    let la = pop f in
+    let dst = push f in
+    let rb = into_reg f lb scratch2 in
+    let ra = into_reg f la scratch1 in
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.sub ra (Insn.Reg rb) d);
+        if scale = 4 then emit_insn f (Asm.sra d (Insn.Imm 2) d)
+        else begin
+          emit_insns f (Asm.set scale scratch3);
+          emit_insn f (Asm.sdiv d (Insn.Reg scratch3) d)
+        end)
+  | (Ast.Add | Ast.Sub), true, false ->
+    gen_addr_or_value f a;
+    gen_expr f b;
+    let lb = pop f in
+    let la = pop f in
+    let dst = push f in
+    let rb = into_reg f lb scratch2 in
+    scale_reg f rb scale;
+    let ra = into_reg f la scratch1 in
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.alu (alu_of_binop op) ra (Insn.Reg rb) d))
+  | Ast.Add, false, true ->
+    gen_expr f a;
+    gen_addr_or_value f b;
+    let lb = pop f in
+    let la = pop f in
+    let dst = push f in
+    let ra = into_reg f la scratch1 in
+    scale_reg f ra scale;
+    let rb = into_reg f lb scratch2 in
+    with_dest f dst (fun d -> emit_insn f (Asm.add rb (Insn.Reg ra) d))
+  | _ -> errorf "%s: unsupported pointer arithmetic" f.fname
+
+and gen_unop f op a =
+  gen_expr f a;
+  let la = pop f in
+  let dst = push f in
+  let ra = into_reg f la scratch1 in
+  match op with
+  | Ast.Neg -> with_dest f dst (fun d -> emit_insn f (Asm.sub Reg.g0 (Insn.Reg ra) d))
+  | Ast.Bnot ->
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.alu Insn.Xnor ra (Insn.Reg Reg.g0) d))
+  | Ast.Lnot ->
+    let yes = fresh_label f "lnot" in
+    emit_insn f (Asm.tst ra);
+    with_dest f dst (fun d ->
+        emit_insn f (Asm.mov (Insn.Imm 1) d);
+        emit_insn f (Asm.branch Cond.E yes);
+        emit_insn f (Asm.mov (Insn.Imm 0) d);
+        emit f (Asm.Label yes))
+
+(* Evaluate arguments onto the expression stack, then move them into
+   %o0..%o5 (last popped first, so argument k lands in %ok). *)
+and gen_args f args =
+  List.iter (gen_expr f) args;
+  let n = List.length args in
+  for k = n - 1 downto 0 do
+    let loc = pop f in
+    match loc with
+    | Lreg r -> emit_insn f (Asm.mov (Insn.Reg r) (Reg.o k))
+    | Lspill off -> emit_insn f (Asm.ld Reg.fp (Insn.Imm off) (Reg.o k))
+  done
+
+and gen_builtin f b args =
+  gen_args f args;
+  (match b with
+  | Print_int -> emit_insn f (Asm.trap 1)
+  | Print_char -> emit_insn f (Asm.trap 2)
+  | Sbrk -> emit_insn f (Asm.trap 3)
+  | Exit -> emit_insn f (Asm.trap 0));
+  let dst = push f in
+  with_dest f dst (fun d ->
+      match b with
+      | Sbrk -> emit_insn f (Asm.mov (Insn.Reg (Reg.o 0)) d)
+      | Print_int | Print_char | Exit -> emit_insn f (Asm.mov (Insn.Imm 0) d))
+
+(* --- statements ------------------------------------------------------------ *)
+
+(* Conditions compile to direct compare-and-branch sequences (as cc -g
+   does), so conditional branches carry the compare the analysis tool
+   turns into assert definitions.  Falling back to materializing the
+   boolean would hide loop bounds from the optimizer. *)
+let rec gen_branch_if_false f (cond : texpr) ~label =
+  match cond.desc with
+  | Tbinop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
+    ->
+    (match as_imm b with
+    | Some v ->
+      gen_expr f a;
+      let la = pop f in
+      let ra = into_reg f la scratch1 in
+      emit_insn f (Asm.cmp ra (Insn.Imm v))
+    | None ->
+      gen_expr f a;
+      gen_expr f b;
+      let lb = pop f in
+      let la = pop f in
+      let rb = into_reg f lb scratch2 in
+      let ra = into_reg f la scratch1 in
+      emit_insn f (Asm.cmp ra (Insn.Reg rb)));
+    emit_insn f (Asm.branch (Cond.negate (cond_of_binop op)) label)
+  | Tbinop (Ast.Land, a, b) ->
+    gen_branch_if_false f a ~label;
+    gen_branch_if_false f b ~label
+  | Tbinop (Ast.Lor, a, b) ->
+    let ltrue = fresh_label f "ortrue" in
+    gen_branch_if_true f a ~label:ltrue;
+    gen_branch_if_false f b ~label;
+    emit f (Asm.Label ltrue)
+  | Tunop (Ast.Lnot, a) -> gen_branch_if_true f a ~label
+  | _ ->
+    gen_expr f cond;
+    let lc = pop f in
+    let rc = into_reg f lc scratch1 in
+    emit_insn f (Asm.tst rc);
+    emit_insn f (Asm.branch Cond.E label)
+
+and gen_branch_if_true f (cond : texpr) ~label =
+  match cond.desc with
+  | Tbinop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
+    ->
+    (match as_imm b with
+    | Some v ->
+      gen_expr f a;
+      let la = pop f in
+      let ra = into_reg f la scratch1 in
+      emit_insn f (Asm.cmp ra (Insn.Imm v))
+    | None ->
+      gen_expr f a;
+      gen_expr f b;
+      let lb = pop f in
+      let la = pop f in
+      let rb = into_reg f lb scratch2 in
+      let ra = into_reg f la scratch1 in
+      emit_insn f (Asm.cmp ra (Insn.Reg rb)));
+    emit_insn f (Asm.branch (cond_of_binop op) label)
+  | Tbinop (Ast.Land, a, b) ->
+    let lfalse = fresh_label f "andfalse" in
+    gen_branch_if_false f a ~label:lfalse;
+    gen_branch_if_true f b ~label;
+    emit f (Asm.Label lfalse)
+  | Tbinop (Ast.Lor, a, b) ->
+    gen_branch_if_true f a ~label;
+    gen_branch_if_true f b ~label
+  | Tunop (Ast.Lnot, a) -> gen_branch_if_false f a ~label
+  | _ ->
+    gen_expr f cond;
+    let lc = pop f in
+    let rc = into_reg f lc scratch1 in
+    emit_insn f (Asm.tst rc);
+    emit_insn f (Asm.branch Cond.Ne label)
+
+let gen_condition f (cond : texpr) ~false_label =
+  gen_branch_if_false f cond ~label:false_label
+
+let rec gen_stmt f (s : tstmt) : unit =
+  match s with
+  | TSexpr e ->
+    gen_expr f e;
+    ignore (pop f)
+  | TSassign (lhs, rhs) -> gen_assign f lhs rhs
+  | TSif (cond, then_, else_) ->
+    let lelse = fresh_label f "else" in
+    let lend = fresh_label f "endif" in
+    gen_condition f cond ~false_label:lelse;
+    List.iter (gen_stmt f) then_;
+    if else_ = [] then emit f (Asm.Label lelse)
+    else begin
+      emit_insn f (Asm.ba lend);
+      emit f (Asm.Label lelse);
+      List.iter (gen_stmt f) else_;
+      emit f (Asm.Label lend)
+    end
+  | TSwhile (cond, body) ->
+    let lhead = fresh_label f "while" in
+    let lend = fresh_label f "wend" in
+    emit f (Asm.Label lhead);
+    gen_condition f cond ~false_label:lend;
+    f.loops <- (lend, lhead) :: f.loops;
+    List.iter (gen_stmt f) body;
+    f.loops <- List.tl f.loops;
+    emit_insn f (Asm.ba lhead);
+    emit f (Asm.Label lend)
+  | TSfor (init, cond, step, body) ->
+    let lhead = fresh_label f "for" in
+    let lstep = fresh_label f "fstep" in
+    let lend = fresh_label f "fend" in
+    Option.iter (gen_stmt f) init;
+    emit f (Asm.Label lhead);
+    Option.iter (fun c -> gen_condition f c ~false_label:lend) cond;
+    f.loops <- (lend, lstep) :: f.loops;
+    List.iter (gen_stmt f) body;
+    f.loops <- List.tl f.loops;
+    emit f (Asm.Label lstep);
+    Option.iter (gen_stmt f) step;
+    emit_insn f (Asm.ba lhead);
+    emit f (Asm.Label lend)
+  | TSreturn e ->
+    (match e with
+    | Some e ->
+      gen_expr f e;
+      let l = pop f in
+      let r = into_reg f l scratch1 in
+      emit_insn f (Asm.mov (Insn.Reg r) (Reg.i_ 0))
+    | None -> emit_insn f (Asm.mov (Insn.Imm 0) (Reg.i_ 0)));
+    emit_insn f Asm.restore;
+    emit_insn f Asm.retl
+  | TSbreak -> (
+    match f.loops with
+    | (lend, _) :: _ -> emit_insn f (Asm.ba lend)
+    | [] -> errorf "%s: break outside loop" f.fname)
+  | TScontinue -> (
+    match f.loops with
+    | (_, lcont) :: _ -> emit_insn f (Asm.ba lcont)
+    | [] -> errorf "%s: continue outside loop" f.fname)
+  | TSblock body -> List.iter (gen_stmt f) body
+  | TSprint_str s ->
+    String.iter
+      (fun c ->
+        emit_insn f (Asm.mov (Insn.Imm (Char.code c)) (Reg.o 0));
+        emit_insn f (Asm.trap 2))
+      s
+
+and gen_assign f lhs rhs =
+  gen_expr f rhs;
+  match lhs.desc with
+  | Tvar name -> (
+    match var_kind f name with
+    | `Register r ->
+      let l = pop f in
+      let rv = into_reg f l scratch1 in
+      emit_insn f (Asm.mov (Insn.Reg rv) r)
+    | `Stack off ->
+      let l = pop f in
+      let rv = into_reg f l scratch1 in
+      emit_insn f (Asm.st rv Reg.fp (Insn.Imm off))
+    | `Global ->
+      let l = pop f in
+      let rv = into_reg f l scratch1 in
+      emit f (Asm.Set_label { label = name; offset = 0; rd = scratch2 });
+      emit_insn f (Asm.st rv scratch2 (Insn.Imm 0)))
+  | Tindex _ | Tfield _ | Tderef _ ->
+    gen_addr f lhs;
+    let laddr = pop f in
+    let lval = pop f in
+    let raddr = into_reg f laddr scratch2 in
+    let rval = into_reg f lval scratch1 in
+    emit_insn f (Asm.st rval raddr (Insn.Imm 0))
+  | Tint_lit _ | Tbinop _ | Tunop _ | Tcall _ | Tbuiltin _ | Taddr _ ->
+    errorf "%s: assignment to non-lvalue" f.fname
+
+(* --- functions and program -------------------------------------------------- *)
+
+let align8 n = (n + 7) land lnot 7
+
+let gen_func g (fn : tfunc) : Asm.item list * Symtab.entry list =
+  (* Assign frame slots: parameters first, then stack locals. *)
+  let offsets = Hashtbl.create 16 in
+  let regvars = Hashtbl.create 4 in
+  let local_types = Hashtbl.create 16 in
+  let cursor = ref 0 in
+  let alloc name typ =
+    let bytes = 4 * size_words g typ in
+    cursor := !cursor - bytes;
+    Hashtbl.replace offsets name !cursor;
+    Hashtbl.replace local_types name typ
+  in
+  List.iter (fun (name, typ) -> alloc name typ) fn.params;
+  let available_regvars = ref register_var_regs in
+  List.iter
+    (fun (d : Ast.vardecl) ->
+      Hashtbl.replace local_types d.vname d.vtyp;
+      if d.register then (
+        match !available_regvars with
+        | r :: rest ->
+          available_regvars := rest;
+          Hashtbl.replace regvars d.vname r
+        | [] -> alloc d.vname d.vtyp)
+      else alloc d.vname d.vtyp)
+    fn.locals;
+  let spill_base = !cursor - 4 in
+  let frame = align8 (- !cursor + (4 * max_spill) + 16 + 64) in
+  let f =
+    {
+      g;
+      fname = fn.name;
+      offsets;
+      regvars;
+      local_types;
+      spill_base;
+      frame;
+      depth = 0;
+      code = [];
+      loops = [];
+    }
+  in
+  emit f (Asm.Label fn.name);
+  emit_insn f (Asm.save frame);
+  (* Give every parameter a memory home, like cc -g. *)
+  List.iteri
+    (fun i (name, _) ->
+      emit_insn f (Asm.st (Reg.i_ i) Reg.fp (Insn.Imm (Hashtbl.find offsets name))))
+    fn.params;
+  (* Initialize register-class locals to zero for determinism. *)
+  Hashtbl.iter (fun _ r -> emit_insn f (Asm.mov (Insn.Imm 0) r)) regvars;
+  List.iter (gen_stmt f) fn.body;
+  (* Implicit return 0. *)
+  emit_insn f (Asm.mov (Insn.Imm 0) (Reg.i_ 0));
+  emit_insn f Asm.restore;
+  emit_insn f Asm.retl;
+  let symbols =
+    let ctype_of = function
+      | Ast.Tint -> Symtab.Scalar
+      | Ast.Tptr _ -> Symtab.Pointer
+      | Ast.Tarray (t, n) -> Symtab.Array { elems = n * size_words g t }
+      | Ast.Tstruct s ->
+        Symtab.Struct
+          { fields = List.mapi (fun i (fl, _) -> (fl, i)) (List.assoc s g.structs) }
+    in
+    List.filter_map
+      (fun (name, typ) ->
+        match Hashtbl.find_opt offsets name with
+        | Some off ->
+          Some
+            {
+              Symtab.name;
+              func = Some fn.name;
+              location = Symtab.Fp_offset off;
+              size_words = size_words g typ;
+              ctype = ctype_of typ;
+            }
+        | None -> None)
+      (fn.params
+      @ List.map (fun (d : Ast.vardecl) -> (d.vname, d.vtyp)) fn.locals)
+  in
+  (List.rev f.code, symbols)
+
+type output = {
+  program : Asm.program;
+  symtab : Symtab.t;
+  functions : string list;
+}
+
+let gen_program (p : tprogram) : output =
+  let g =
+    {
+      structs = p.struct_fields;
+      global_types = Hashtbl.create 16;
+      label_counter = 0;
+    }
+  in
+  List.iter
+    (fun (d : Ast.vardecl) -> Hashtbl.replace g.global_types d.vname d.vtyp)
+    p.globals;
+  let start =
+    [
+      Asm.Label "_start";
+      Asm.Insn (Asm.call "main");
+      Asm.Insn Asm.nop;
+      Asm.Insn (Asm.trap 0);
+    ]
+  in
+  let bodies = List.map (gen_func g) p.funcs in
+  let text = start @ List.concat_map fst bodies in
+  let data =
+    List.map
+      (fun (d : Ast.vardecl) ->
+        {
+          Asm.name = d.vname;
+          size = 4 * size_words g d.vtyp;
+          init = (match d.init with Some v -> [ v ] | None -> []);
+        })
+      p.globals
+  in
+  let ctype_of = function
+    | Ast.Tint -> Symtab.Scalar
+    | Ast.Tptr _ -> Symtab.Pointer
+    | Ast.Tarray (t, n) -> Symtab.Array { elems = n * size_words g t }
+    | Ast.Tstruct s ->
+      Symtab.Struct
+        { fields = List.mapi (fun i (fl, _) -> (fl, i)) (List.assoc s g.structs) }
+  in
+  let global_syms =
+    List.map
+      (fun (d : Ast.vardecl) ->
+        {
+          Symtab.name = d.vname;
+          func = None;
+          location = Symtab.Data_label (d.vname, 0);
+          size_words = size_words g d.vtyp;
+          ctype = ctype_of d.vtyp;
+        })
+      p.globals
+  in
+  let local_syms = List.concat_map snd bodies in
+  {
+    program = { Asm.text; data; entry = "_start" };
+    symtab = Symtab.of_list (global_syms @ local_syms);
+    functions = List.map (fun (fn : tfunc) -> fn.name) p.funcs;
+  }

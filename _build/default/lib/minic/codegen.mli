@@ -1,0 +1,21 @@
+(** Naive debug code generation (the "cc -g" the paper assumes).
+
+    Every non-[register] variable has a memory home: parameters are
+    stored to their frame slots on entry, locals live at fixed [%fp]
+    offsets, and every read/write goes through memory.  Expressions are
+    evaluated on a register stack ([%l0]-[%l5], spilling to the frame),
+    so the emitted stores have exactly the shapes the paper's analyses
+    consume: [st r, [%fp-20]] for scalars, [sethi/or]-based addresses
+    for globals, and register-indexed stores for arrays and pointers.
+    Registers [%g4]-[%g7] are never used, leaving them free for the
+    monitored region service to reserve. *)
+
+exception Error of string
+
+type output = {
+  program : Sparc.Asm.program;  (** entry point [_start], which calls [main] *)
+  symtab : Sparc.Symtab.t;      (** globals and frame homes of every function *)
+  functions : string list;
+}
+
+val gen_program : Typecheck.tprogram -> output

@@ -1,0 +1,48 @@
+type error = { phase : string; message : string }
+
+exception Error of error
+
+let fail phase message = raise (Error { phase; message })
+
+let front ?(runtime = true) source =
+  let full = if runtime then source ^ "\n" ^ Runtime.source else source in
+  let ast =
+    try Parser.program_of_string full with
+    | Parser.Error { line; message } ->
+      fail "parse" (Printf.sprintf "line %d: %s" line message)
+    | Lexer.Error { line; message } ->
+      fail "lex" (Printf.sprintf "line %d: %s" line message)
+  in
+  try Typecheck.check_program ast
+  with Typecheck.Error m -> fail "typecheck" m
+
+let compile ?runtime source =
+  let typed = front ?runtime source in
+  try Codegen.gen_program typed with Codegen.Error m -> fail "codegen" m
+
+type linked = {
+  image : Sparc.Assembler.image;
+  symtab : Sparc.Symtab.t;
+  functions : string list;
+}
+
+let link (out : Codegen.output) =
+  let image =
+    try Sparc.Assembler.assemble out.program
+    with Sparc.Assembler.Error m -> fail "assemble" m
+  in
+  let symtab =
+    Sparc.Symtab.resolve_data_labels
+      ~addr_of_label:(Sparc.Assembler.addr_of_label image)
+      out.symtab
+  in
+  { image; symtab; functions = out.functions }
+
+let compile_and_link ?runtime source = link (compile ?runtime source)
+
+let run ?runtime ?fuel ?config source =
+  let { image; _ } = compile_and_link ?runtime source in
+  let cpu = Machine.Cpu.create ?config image in
+  Machine.Cpu.install_basic_services cpu;
+  let code = Machine.Cpu.run ?fuel cpu in
+  (code, Machine.Cpu.output cpu)

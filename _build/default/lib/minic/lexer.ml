@@ -1,0 +1,238 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW_INT | KW_STRUCT | KW_REGISTER
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR | TILDE
+  | EQ | EQEQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | EOF
+
+exception Error of { line : int; message : string }
+
+type t = { src : string; mutable pos : int; mutable line : int }
+
+let create src = { src; pos = 0; line = 1 }
+
+let errorf t fmt =
+  Format.kasprintf (fun message -> raise (Error { line = t.line; message })) fmt
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t =
+  (if t.pos < String.length t.src && t.src.[t.pos] = '\n' then
+     t.line <- t.line + 1);
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "struct" -> Some KW_STRUCT
+  | "register" -> Some KW_REGISTER
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let rec skip_ws_and_comments t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_ws_and_comments t
+  | Some '/' when t.pos + 1 < String.length t.src -> (
+    match t.src.[t.pos + 1] with
+    | '/' ->
+      while peek_char t <> None && peek_char t <> Some '\n' do advance t done;
+      skip_ws_and_comments t
+    | '*' ->
+      advance t;
+      advance t;
+      let rec loop () =
+        match peek_char t with
+        | None -> errorf t "unterminated comment"
+        | Some '*' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/'
+          ->
+          advance t;
+          advance t
+        | Some _ ->
+          advance t;
+          loop ()
+      in
+      loop ();
+      skip_ws_and_comments t
+    | _ -> ())
+  | Some _ | None -> ()
+
+let lex_number t =
+  let start = t.pos in
+  if
+    peek_char t = Some '0'
+    && t.pos + 1 < String.length t.src
+    && (t.src.[t.pos + 1] = 'x' || t.src.[t.pos + 1] = 'X')
+  then begin
+    advance t;
+    advance t;
+    while
+      match peek_char t with
+      | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance t
+    done
+  end
+  else
+    while match peek_char t with Some c -> is_digit c | None -> false do
+      advance t
+    done;
+  let s = String.sub t.src start (t.pos - start) in
+  match int_of_string_opt s with
+  | Some v -> INT v
+  | None -> errorf t "bad number %S" s
+
+let lex_char_literal t =
+  advance t;
+  let v =
+    match peek_char t with
+    | Some '\\' ->
+      advance t;
+      (match peek_char t with
+      | Some 'n' -> 10
+      | Some 't' -> 9
+      | Some '0' -> 0
+      | Some '\\' -> 92
+      | Some '\'' -> 39
+      | Some c -> errorf t "bad escape \\%c" c
+      | None -> errorf t "unterminated char literal")
+    | Some c -> Char.code c
+    | None -> errorf t "unterminated char literal"
+  in
+  advance t;
+  if peek_char t <> Some '\'' then errorf t "unterminated char literal";
+  advance t;
+  INT v
+
+let lex_string t =
+  advance t;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek_char t with
+    | None -> errorf t "unterminated string"
+    | Some '"' -> advance t
+    | Some '\\' ->
+      advance t;
+      (match peek_char t with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some c -> errorf t "bad escape \\%c" c
+      | None -> errorf t "unterminated string");
+      advance t;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance t;
+      loop ()
+  in
+  loop ();
+  STRING (Buffer.contents buf)
+
+let next t =
+  skip_ws_and_comments t;
+  let two c1 c2 tok1 tok2 =
+    advance t;
+    if peek_char t = Some c2 then begin
+      advance t;
+      tok2
+    end
+    else begin
+      ignore c1;
+      tok1
+    end
+  in
+  match peek_char t with
+  | None -> EOF
+  | Some c when is_digit c -> lex_number t
+  | Some '\'' -> lex_char_literal t
+  | Some '"' -> lex_string t
+  | Some c when is_ident_start c ->
+    let start = t.pos in
+    while match peek_char t with Some c -> is_ident_char c | None -> false do
+      advance t
+    done;
+    let s = String.sub t.src start (t.pos - start) in
+    (match keyword s with Some k -> k | None -> IDENT s)
+  | Some '(' -> advance t; LPAREN
+  | Some ')' -> advance t; RPAREN
+  | Some '{' -> advance t; LBRACE
+  | Some '}' -> advance t; RBRACE
+  | Some '[' -> advance t; LBRACKET
+  | Some ']' -> advance t; RBRACKET
+  | Some ';' -> advance t; SEMI
+  | Some ',' -> advance t; COMMA
+  | Some '.' -> advance t; DOT
+  | Some '+' -> advance t; PLUS
+  | Some '-' -> two '-' '>' MINUS ARROW
+  | Some '*' -> advance t; STAR
+  | Some '/' -> advance t; SLASH
+  | Some '%' -> advance t; PERCENT
+  | Some '~' -> advance t; TILDE
+  | Some '^' -> advance t; CARET
+  | Some '&' -> two '&' '&' AMP AMPAMP
+  | Some '|' -> two '|' '|' PIPE PIPEPIPE
+  | Some '=' -> two '=' '=' EQ EQEQ
+  | Some '!' -> two '!' '=' BANG NE
+  | Some '<' ->
+    advance t;
+    (match peek_char t with
+    | Some '=' -> advance t; LE
+    | Some '<' -> advance t; SHL
+    | Some _ | None -> LT)
+  | Some '>' ->
+    advance t;
+    (match peek_char t with
+    | Some '=' -> advance t; GE
+    | Some '>' -> advance t; SHR
+    | Some _ | None -> GT)
+  | Some c -> errorf t "unexpected character %C" c
+
+let tokens src =
+  let t = create src in
+  let rec loop acc =
+    let line = t.line in
+    match next t with
+    | EOF -> List.rev ((EOF, line) :: acc)
+    | tok -> loop ((tok, line) :: acc)
+  in
+  loop []
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_INT -> "int" | KW_STRUCT -> "struct" | KW_REGISTER -> "register"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "->"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | SHL -> "<<" | SHR -> ">>"
+  | TILDE -> "~"
+  | EQ -> "=" | EQEQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">"
+  | GE -> ">="
+  | AMPAMP -> "&&" | PIPEPIPE -> "||" | BANG -> "!"
+  | EOF -> "<eof>"

@@ -1,0 +1,25 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW_INT | KW_STRUCT | KW_REGISTER
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | SHL | SHR | TILDE
+  | EQ | EQEQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokens : string -> (token * int) list
+(** Tokenize a whole source; each token is paired with its 1-based line.
+    Supports decimal/hex integers, char literals, strings, [//] and
+    [/* */] comments.  The result always ends with [EOF].
+    @raise Error on malformed input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,464 @@
+open Lexer
+
+exception Error of { line : int; message : string }
+
+type t = { mutable toks : (token * int) list }
+
+let errorf t fmt =
+  let line = match t.toks with (_, l) :: _ -> l | [] -> 0 in
+  Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+let peek t = match t.toks with (tok, _) :: _ -> tok | [] -> EOF
+
+let peek2 t = match t.toks with _ :: (tok, _) :: _ -> tok | _ -> EOF
+
+let advance t = match t.toks with _ :: rest -> t.toks <- rest | [] -> ()
+
+let eat t tok =
+  if peek t = tok then advance t
+  else
+    errorf t "expected %s, found %s" (token_to_string tok)
+      (token_to_string (peek t))
+
+let ident t =
+  match peek t with
+  | IDENT s ->
+    advance t;
+    s
+  | tok -> errorf t "expected identifier, found %s" (token_to_string tok)
+
+let int_lit t =
+  match peek t with
+  | INT v ->
+    advance t;
+    v
+  | MINUS ->
+    advance t;
+    (match peek t with
+    | INT v ->
+      advance t;
+      -v
+    | tok -> errorf t "expected integer, found %s" (token_to_string tok))
+  | tok -> errorf t "expected integer, found %s" (token_to_string tok)
+
+(* type := ("int" | "struct" IDENT) "*"* *)
+let parse_base_type t =
+  match peek t with
+  | KW_INT ->
+    advance t;
+    Ast.Tint
+  | KW_STRUCT ->
+    advance t;
+    Ast.Tstruct (ident t)
+  | tok -> errorf t "expected type, found %s" (token_to_string tok)
+
+let parse_stars t base =
+  let rec loop ty = if peek t = STAR then (advance t; loop (Ast.Tptr ty)) else ty in
+  loop base
+
+let parse_type t = parse_stars t (parse_base_type t)
+
+(* --- expressions --------------------------------------------------------- *)
+
+let rec parse_expr t = parse_lor t
+
+and parse_lor t =
+  let rec loop lhs =
+    if peek t = PIPEPIPE then begin
+      advance t;
+      loop (Ast.Binop (Ast.Lor, lhs, parse_land t))
+    end
+    else lhs
+  in
+  loop (parse_land t)
+
+and parse_land t =
+  let rec loop lhs =
+    if peek t = AMPAMP then begin
+      advance t;
+      loop (Ast.Binop (Ast.Land, lhs, parse_bor t))
+    end
+    else lhs
+  in
+  loop (parse_bor t)
+
+and parse_bor t =
+  let rec loop lhs =
+    if peek t = PIPE then begin
+      advance t;
+      loop (Ast.Binop (Ast.Bor, lhs, parse_bxor t))
+    end
+    else lhs
+  in
+  loop (parse_bxor t)
+
+and parse_bxor t =
+  let rec loop lhs =
+    if peek t = CARET then begin
+      advance t;
+      loop (Ast.Binop (Ast.Bxor, lhs, parse_band t))
+    end
+    else lhs
+  in
+  loop (parse_band t)
+
+and parse_band t =
+  let rec loop lhs =
+    if peek t = AMP then begin
+      advance t;
+      loop (Ast.Binop (Ast.Band, lhs, parse_equality t))
+    end
+    else lhs
+  in
+  loop (parse_equality t)
+
+and parse_equality t =
+  let rec loop lhs =
+    match peek t with
+    | EQEQ ->
+      advance t;
+      loop (Ast.Binop (Ast.Eq, lhs, parse_relational t))
+    | NE ->
+      advance t;
+      loop (Ast.Binop (Ast.Ne, lhs, parse_relational t))
+    | _ -> lhs
+  in
+  loop (parse_relational t)
+
+and parse_relational t =
+  let rec loop lhs =
+    match peek t with
+    | LT -> advance t; loop (Ast.Binop (Ast.Lt, lhs, parse_shift t))
+    | LE -> advance t; loop (Ast.Binop (Ast.Le, lhs, parse_shift t))
+    | GT -> advance t; loop (Ast.Binop (Ast.Gt, lhs, parse_shift t))
+    | GE -> advance t; loop (Ast.Binop (Ast.Ge, lhs, parse_shift t))
+    | _ -> lhs
+  in
+  loop (parse_shift t)
+
+and parse_shift t =
+  let rec loop lhs =
+    match peek t with
+    | SHL -> advance t; loop (Ast.Binop (Ast.Shl, lhs, parse_additive t))
+    | SHR -> advance t; loop (Ast.Binop (Ast.Shr, lhs, parse_additive t))
+    | _ -> lhs
+  in
+  loop (parse_additive t)
+
+and parse_additive t =
+  let rec loop lhs =
+    match peek t with
+    | PLUS -> advance t; loop (Ast.Binop (Ast.Add, lhs, parse_multiplicative t))
+    | MINUS -> advance t; loop (Ast.Binop (Ast.Sub, lhs, parse_multiplicative t))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative t)
+
+and parse_multiplicative t =
+  let rec loop lhs =
+    match peek t with
+    | STAR -> advance t; loop (Ast.Binop (Ast.Mul, lhs, parse_unary t))
+    | SLASH -> advance t; loop (Ast.Binop (Ast.Div, lhs, parse_unary t))
+    | PERCENT -> advance t; loop (Ast.Binop (Ast.Mod, lhs, parse_unary t))
+    | _ -> lhs
+  in
+  loop (parse_unary t)
+
+and parse_unary t =
+  match peek t with
+  | MINUS ->
+    advance t;
+    Ast.Unop (Ast.Neg, parse_unary t)
+  | BANG ->
+    advance t;
+    Ast.Unop (Ast.Lnot, parse_unary t)
+  | TILDE ->
+    advance t;
+    Ast.Unop (Ast.Bnot, parse_unary t)
+  | STAR ->
+    advance t;
+    Ast.Deref (parse_unary t)
+  | AMP ->
+    advance t;
+    Ast.Addr (parse_unary t)
+  | _ -> parse_postfix t
+
+and parse_postfix t =
+  let rec loop e =
+    match peek t with
+    | LBRACKET ->
+      advance t;
+      let idx = parse_expr t in
+      eat t RBRACKET;
+      loop (Ast.Index (e, idx))
+    | DOT ->
+      advance t;
+      loop (Ast.Field (e, ident t))
+    | ARROW ->
+      advance t;
+      loop (Ast.Arrow (e, ident t))
+    | _ -> e
+  in
+  loop (parse_primary t)
+
+and parse_primary t =
+  match peek t with
+  | INT v ->
+    advance t;
+    Ast.Int v
+  | LPAREN ->
+    advance t;
+    let e = parse_expr t in
+    eat t RPAREN;
+    e
+  | IDENT name when peek2 t = LPAREN ->
+    advance t;
+    advance t;
+    let rec args acc =
+      if peek t = RPAREN then List.rev acc
+      else begin
+        let a = parse_expr t in
+        if peek t = COMMA then begin
+          advance t;
+          args (a :: acc)
+        end
+        else List.rev (a :: acc)
+      end
+    in
+    let actuals = args [] in
+    eat t RPAREN;
+    Ast.Call (name, actuals)
+  | IDENT name ->
+    advance t;
+    Ast.Var name
+  | tok -> errorf t "expected expression, found %s" (token_to_string tok)
+
+(* --- statements ----------------------------------------------------------- *)
+
+let rec parse_stmt t : Ast.stmt =
+  match peek t with
+  | SEMI ->
+    advance t;
+    Ast.Sblock []
+  | LBRACE -> Ast.Sblock (parse_block t)
+  | KW_IF ->
+    advance t;
+    eat t LPAREN;
+    let cond = parse_expr t in
+    eat t RPAREN;
+    let then_ = parse_block_or_stmt t in
+    let else_ =
+      if peek t = KW_ELSE then begin
+        advance t;
+        parse_block_or_stmt t
+      end
+      else []
+    in
+    Ast.Sif (cond, then_, else_)
+  | KW_WHILE ->
+    advance t;
+    eat t LPAREN;
+    let cond = parse_expr t in
+    eat t RPAREN;
+    Ast.Swhile (cond, parse_block_or_stmt t)
+  | KW_FOR ->
+    advance t;
+    eat t LPAREN;
+    let init = if peek t = SEMI then None else Some (parse_simple t) in
+    eat t SEMI;
+    let cond = if peek t = SEMI then None else Some (parse_expr t) in
+    eat t SEMI;
+    let step = if peek t = RPAREN then None else Some (parse_simple t) in
+    eat t RPAREN;
+    Ast.Sfor (init, cond, step, parse_block_or_stmt t)
+  | KW_RETURN ->
+    advance t;
+    if peek t = SEMI then begin
+      advance t;
+      Ast.Sreturn None
+    end
+    else begin
+      let e = parse_expr t in
+      eat t SEMI;
+      Ast.Sreturn (Some e)
+    end
+  | KW_BREAK ->
+    advance t;
+    eat t SEMI;
+    Ast.Sbreak
+  | KW_CONTINUE ->
+    advance t;
+    eat t SEMI;
+    Ast.Scontinue
+  | IDENT "print_str" when peek2 t = LPAREN ->
+    advance t;
+    advance t;
+    let s =
+      match peek t with
+      | STRING s ->
+        advance t;
+        s
+      | tok -> errorf t "print_str expects a string literal, found %s" (token_to_string tok)
+    in
+    eat t RPAREN;
+    eat t SEMI;
+    Ast.Sprint_str s
+  | _ ->
+    let s = parse_simple t in
+    eat t SEMI;
+    s
+
+and parse_simple t : Ast.stmt =
+  let e = parse_expr t in
+  if peek t = EQ then begin
+    advance t;
+    let rhs = parse_expr t in
+    Ast.Sassign (e, rhs)
+  end
+  else Ast.Sexpr e
+
+and parse_block t =
+  eat t LBRACE;
+  let rec loop acc =
+    if peek t = RBRACE then begin
+      advance t;
+      List.rev acc
+    end
+    else loop (parse_stmt t :: acc)
+  in
+  loop []
+
+and parse_block_or_stmt t =
+  if peek t = LBRACE then parse_block t else [ parse_stmt t ]
+
+(* --- declarations ----------------------------------------------------------- *)
+
+let parse_vardecl t ~register : Ast.vardecl =
+  let base = parse_type t in
+  let name = ident t in
+  let typ =
+    if peek t = LBRACKET then begin
+      advance t;
+      let n = int_lit t in
+      eat t RBRACKET;
+      Ast.Tarray (base, n)
+    end
+    else base
+  in
+  let init =
+    if peek t = EQ then begin
+      advance t;
+      Some (int_lit t)
+    end
+    else None
+  in
+  eat t SEMI;
+  { Ast.vname = name; vtyp = typ; register; init }
+
+let parse_local_decls t =
+  let rec loop acc =
+    match peek t with
+    | KW_REGISTER ->
+      advance t;
+      loop (parse_vardecl t ~register:true :: acc)
+    | KW_INT | KW_STRUCT -> loop (parse_vardecl t ~register:false :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let parse_func t ~ret_typ:_ ~name : Ast.func =
+  eat t LPAREN;
+  let rec params acc =
+    if peek t = RPAREN then List.rev acc
+    else begin
+      let typ = parse_type t in
+      let pname = ident t in
+      if peek t = COMMA then begin
+        advance t;
+        params ((pname, typ) :: acc)
+      end
+      else List.rev ((pname, typ) :: acc)
+    end
+  in
+  let formals = params [] in
+  eat t RPAREN;
+  eat t LBRACE;
+  let locals = parse_local_decls t in
+  let rec body acc =
+    if peek t = RBRACE then begin
+      advance t;
+      List.rev acc
+    end
+    else body (parse_stmt t :: acc)
+  in
+  { Ast.fname = name; params = formals; locals; body = body [] }
+
+let parse_struct_decl t : Ast.struct_decl =
+  eat t KW_STRUCT;
+  let name = ident t in
+  eat t LBRACE;
+  let rec fields acc =
+    if peek t = RBRACE then begin
+      advance t;
+      List.rev acc
+    end
+    else begin
+      (* Every field is one word: int or pointer. *)
+      let field_type = parse_type t in
+      let f = ident t in
+      eat t SEMI;
+      fields ((f, field_type) :: acc)
+    end
+  in
+  let sfields = fields [] in
+  eat t SEMI;
+  { Ast.sname = name; sfields }
+
+let program_of_string src : Ast.program =
+  let t = { toks = Lexer.tokens src } in
+  let structs = ref [] in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match peek t with
+    | EOF -> ()
+    | KW_STRUCT when peek2 t <> EOF && (match t.toks with
+        | _ :: (IDENT _, _) :: (LBRACE, _) :: _ -> true
+        | _ -> false) ->
+      structs := parse_struct_decl t :: !structs;
+      loop ()
+    | KW_INT | KW_STRUCT ->
+      (* Global variable or function: decided by the token after the name. *)
+      let typ = parse_type t in
+      let name = ident t in
+      if peek t = LPAREN then begin
+        funcs := parse_func t ~ret_typ:typ ~name :: !funcs;
+        loop ()
+      end
+      else begin
+        let vtyp =
+          if peek t = LBRACKET then begin
+            advance t;
+            let n = int_lit t in
+            eat t RBRACKET;
+            Ast.Tarray (typ, n)
+          end
+          else typ
+        in
+        let init =
+          if peek t = EQ then begin
+            advance t;
+            Some (int_lit t)
+          end
+          else None
+        in
+        eat t SEMI;
+        globals := { Ast.vname = name; vtyp; register = false; init } :: !globals;
+        loop ()
+      end
+    | KW_REGISTER -> errorf t "register storage class is not allowed at top level"
+    | tok -> errorf t "expected declaration, found %s" (token_to_string tok)
+  in
+  (try loop ()
+   with Lexer.Error { line; message } -> raise (Error { line; message }));
+  { Ast.structs = List.rev !structs; globals = List.rev !globals; funcs = List.rev !funcs }

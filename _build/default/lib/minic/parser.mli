@@ -1,0 +1,10 @@
+(** Recursive-descent parser for mini-C.
+
+    Standard C expression precedence; declarations (optionally
+    [register]) must precede statements in a function body; [if]/
+    [while]/[for] bodies may be blocks or single statements. *)
+
+exception Error of { line : int; message : string }
+
+val program_of_string : string -> Ast.program
+(** @raise Error with a 1-based line number on syntax errors. *)

@@ -1,0 +1,78 @@
+(* The mini-C runtime library.
+
+   Compiled together with every program (unless disabled), so that heap
+   management is ordinary instrumented code — its stores are checked and
+   its data structures can be monitored, which the fault-isolation
+   example relies on.
+
+   Heap block layout: one header word holding the payload size in
+   words, followed by the payload.  Free blocks are chained through
+   payload word 0; [__free_list] points at the first free block's
+   header. *)
+
+let source = {|
+int __free_list;
+
+int *malloc(int nbytes) {
+  int nwords;
+  int *p;
+  int *prev;
+  int *cur;
+  int *tail;
+  nwords = (nbytes + 3) / 4;
+  if (nwords < 1) { nwords = 1; }
+  prev = 0;
+  cur = __free_list;
+  while (cur != 0) {
+    if (cur[0] >= nwords) {
+      if (cur[0] >= nwords + 2) {
+        /* Split: carve the tail into a new free block. */
+        tail = cur + 1 + nwords;
+        tail[0] = cur[0] - nwords - 1;
+        tail[1] = cur[1];
+        cur[0] = nwords;
+        if (prev == 0) { __free_list = tail; }
+        else { prev[1] = tail; }
+      } else {
+        if (prev == 0) { __free_list = cur[1]; }
+        else { prev[1] = cur[1]; }
+      }
+      return cur + 1;
+    }
+    prev = cur;
+    cur = cur[1];
+  }
+  p = sbrk((nwords + 1) * 4);
+  p[0] = nwords;
+  return p + 1;
+}
+
+int free(int *p) {
+  int *block;
+  if (p == 0) { return 0; }
+  block = p - 1;
+  block[1] = __free_list;
+  __free_list = block;
+  return 0;
+}
+
+int memset_words(int *dst, int value, int nwords) {
+  int i;
+  for (i = 0; i < nwords; i = i + 1) {
+    dst[i] = value;
+  }
+  return 0;
+}
+
+int memcpy_words(int *dst, int *src, int nwords) {
+  int i;
+  for (i = 0; i < nwords; i = i + 1) {
+    dst[i] = src[i];
+  }
+  return 0;
+}
+|}
+
+(* Functions the runtime contributes; used to keep them out of
+   per-workload statistics when desired. *)
+let function_names = [ "malloc"; "free"; "memset_words"; "memcpy_words" ]

@@ -1,0 +1,7 @@
+(** The mini-C runtime library (allocator and word-block helpers),
+    itself written in mini-C so that its stores are instrumented like
+    any other program code. *)
+
+val source : string
+
+val function_names : string list

@@ -1,0 +1,331 @@
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type builtin = Print_int | Print_char | Sbrk | Exit
+
+type texpr = { desc : tdesc; typ : Ast.typ }
+
+and tdesc =
+  | Tint_lit of int
+  | Tvar of string
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tunop of Ast.unop * texpr
+  | Tcall of string * texpr list
+  | Tbuiltin of builtin * texpr list
+  | Tindex of texpr * texpr
+  | Tfield of texpr * string * int
+  | Tderef of texpr
+  | Taddr of texpr
+
+type tstmt =
+  | TSexpr of texpr
+  | TSassign of texpr * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSblock of tstmt list
+  | TSprint_str of string
+
+type tfunc = {
+  name : string;
+  params : (string * Ast.typ) list;
+  locals : Ast.vardecl list;
+  body : tstmt list;
+}
+
+type tprogram = {
+  struct_fields : (string * (string * Ast.typ) list) list;
+  globals : Ast.vardecl list;
+  funcs : tfunc list;
+}
+
+type ctx = {
+  structs : (string, (string * Ast.typ) list) Hashtbl.t;
+  funcs : (string, Ast.typ list) Hashtbl.t;  (* parameter types; returns are untracked ints/ptrs *)
+  globals : (string, Ast.typ) Hashtbl.t;
+  mutable scope : (string * (Ast.typ * bool (* register *))) list;
+}
+
+let builtin_of_name = function
+  | "print_int" -> Some Print_int
+  | "print_char" -> Some Print_char
+  | "sbrk" -> Some Sbrk
+  | "exit" -> Some Exit
+  | _ -> None
+
+let struct_fields ctx name =
+  match Hashtbl.find_opt ctx.structs name with
+  | Some fields -> fields
+  | None -> errorf "unknown struct %s" name
+
+let rec size_words ctx = function
+  | Ast.Tint | Ast.Tptr _ -> 1
+  | Ast.Tstruct s -> List.length (struct_fields ctx s)
+  | Ast.Tarray (t, n) -> n * size_words ctx t
+
+let elem_type = function
+  | Ast.Tptr t | Ast.Tarray (t, _) -> t
+  | (Ast.Tint | Ast.Tstruct _) as t ->
+    errorf "cannot index value of type %s" (Ast.typ_to_string t)
+
+let is_scalar = function
+  | Ast.Tint | Ast.Tptr _ -> true
+  | Ast.Tstruct _ | Ast.Tarray _ -> false
+
+let decay = function Ast.Tarray (t, _) -> Ast.Tptr t | t -> t
+
+(* Assignment/argument compatibility is deliberately lax between
+   pointers and ints (the workloads are C in spirit); structs are never
+   assignable, arrays decay to pointers on the right-hand side. *)
+let compatible a b = is_scalar a && is_scalar (decay b)
+
+let lookup_var ctx name =
+  match List.assoc_opt name ctx.scope with
+  | Some (t, reg) -> (t, reg)
+  | None -> (
+    match Hashtbl.find_opt ctx.globals name with
+    | Some t -> (t, false)
+    | None -> errorf "unknown variable %s" name)
+
+let rec is_lvalue ctx e =
+  match e.desc with
+  | Tvar _ -> true
+  | Tindex _ -> true
+  | Tderef _ -> true
+  | Tfield (base, _, _) -> is_lvalue ctx base || (match base.desc with Tderef _ -> true | _ -> false)
+  | Tint_lit _ | Tbinop _ | Tunop _ | Tcall _ | Tbuiltin _ | Taddr _ -> false
+
+let rec check_expr ctx (e : Ast.expr) : texpr =
+  match e with
+  | Ast.Int v -> { desc = Tint_lit v; typ = Ast.Tint }
+  | Ast.Var name ->
+    let typ, _ = lookup_var ctx name in
+    { desc = Tvar name; typ }
+  | Ast.Binop (op, a, b) -> check_binop ctx op a b
+  | Ast.Unop (op, a) ->
+    let ta = check_expr ctx a in
+    if not (is_scalar ta.typ) then
+      errorf "unary %s on non-scalar"
+        (match op with Ast.Neg -> "-" | Ast.Lnot -> "!" | Ast.Bnot -> "~");
+    { desc = Tunop (op, ta); typ = Ast.Tint }
+  | Ast.Call (name, args) -> check_call ctx name args
+  | Ast.Index (base, idx) ->
+    let tbase = check_expr ctx base in
+    let tidx = check_expr ctx idx in
+    if tidx.typ <> Ast.Tint then errorf "array index must be int";
+    let elem = elem_type tbase.typ in
+    { desc = Tindex (tbase, tidx); typ = elem }
+  | Ast.Field (base, field) ->
+    let tbase = check_expr ctx base in
+    (match tbase.typ with
+    | Ast.Tstruct s ->
+      let fields = struct_fields ctx s in
+      (match List.find_index (fun (f, _) -> String.equal field f) fields with
+      | Some i ->
+        let _, ftyp = List.nth fields i in
+        { desc = Tfield (tbase, field, i); typ = ftyp }
+      | None -> errorf "struct %s has no field %s" s field)
+    | t -> errorf "field access on non-struct %s" (Ast.typ_to_string t))
+  | Ast.Arrow (base, field) ->
+    (* p->f is ( *p ).f *)
+    check_expr ctx (Ast.Field (Ast.Deref base, field))
+  | Ast.Deref ptr ->
+    let tptr = check_expr ctx ptr in
+    (match tptr.typ with
+    | Ast.Tptr t | Ast.Tarray (t, _) -> { desc = Tderef tptr; typ = t }
+    | t -> errorf "dereference of non-pointer %s" (Ast.typ_to_string t))
+  | Ast.Addr inner ->
+    let tinner = check_expr ctx inner in
+    if not (is_lvalue ctx tinner) then errorf "cannot take address of non-lvalue";
+    (match tinner.desc with
+    | Tvar name ->
+      let _, reg = lookup_var ctx name in
+      if reg then errorf "cannot take address of register variable %s" name
+    | _ -> ());
+    { desc = Taddr tinner; typ = Ast.Tptr tinner.typ }
+
+and check_binop ctx op a b =
+  let ta = check_expr ctx a and tb = check_expr ctx b in
+  let scalar e = if not (is_scalar (decay e.typ)) then errorf "non-scalar operand" in
+  scalar ta;
+  scalar tb;
+  let ptr t = match t with Ast.Tptr _ | Ast.Tarray _ -> true | Ast.Tint | Ast.Tstruct _ -> false in
+  let typ =
+    match op with
+    | Ast.Add | Ast.Sub ->
+      (match ptr ta.typ, ptr tb.typ with
+      | true, false -> ta.typ
+      | false, true -> if op = Ast.Add then tb.typ else errorf "int - pointer"
+      | true, true ->
+        if op = Ast.Sub then Ast.Tint else errorf "pointer + pointer"
+      | false, false -> Ast.Tint)
+    | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl
+    | Ast.Shr ->
+      Ast.Tint
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor
+      ->
+      Ast.Tint
+  in
+  { desc = Tbinop (op, ta, tb); typ }
+
+and check_call ctx name args =
+  let targs = List.map (check_expr ctx) args in
+  List.iter
+    (fun a -> if not (is_scalar (decay a.typ)) then errorf "non-scalar argument to %s" name)
+    targs;
+  match builtin_of_name name with
+  | Some b ->
+    let arity = 1 in
+    if List.length targs <> arity then
+      errorf "builtin %s expects %d argument(s)" name arity;
+    let typ = match b with Sbrk -> Ast.Tptr Ast.Tint | Print_int | Print_char | Exit -> Ast.Tint in
+    { desc = Tbuiltin (b, targs); typ }
+  | None -> (
+    match Hashtbl.find_opt ctx.funcs name with
+    | Some param_types ->
+      if List.length targs <> List.length param_types then
+        errorf "%s expects %d arguments, got %d" name (List.length param_types)
+          (List.length targs);
+      if List.length targs > 6 then errorf "%s: more than 6 arguments" name;
+      (* Return type convention: functions named *alloc* and ones whose
+         name ends in _ptr return pointers; everything else int.  This
+         keeps mini-C signatures to a single line while letting malloc
+         results index without casts. *)
+      let returns_ptr =
+        let has_sub sub =
+          let n = String.length sub and m = String.length name in
+          let rec at i = i + n <= m && (String.sub name i n = sub || at (i + 1)) in
+          at 0
+        in
+        has_sub "alloc" ||
+        (String.length name > 4 && String.sub name (String.length name - 4) 4 = "_ptr")
+      in
+      let typ = if returns_ptr then Ast.Tptr Ast.Tint else Ast.Tint in
+      { desc = Tcall (name, targs); typ }
+    | None -> errorf "unknown function %s" name)
+
+let rec check_stmt ctx ~in_loop (s : Ast.stmt) : tstmt =
+  match s with
+  | Ast.Sexpr e -> TSexpr (check_expr ctx e)
+  | Ast.Sassign (lhs, rhs) ->
+    let tl = check_expr ctx lhs in
+    let tr = check_expr ctx rhs in
+    if not (is_lvalue ctx tl) then errorf "assignment to non-lvalue";
+    (match tl.desc with
+    | Tvar name ->
+      let _, _reg = lookup_var ctx name in
+      ()
+    | _ -> ());
+    if not (compatible tl.typ tr.typ) then
+      errorf "incompatible assignment: %s := %s" (Ast.typ_to_string tl.typ)
+        (Ast.typ_to_string tr.typ);
+    TSassign (tl, tr)
+  | Ast.Sif (cond, then_, else_) ->
+    let tc = check_expr ctx cond in
+    if not (is_scalar tc.typ) then errorf "non-scalar condition";
+    TSif (tc, check_stmts ctx ~in_loop then_, check_stmts ctx ~in_loop else_)
+  | Ast.Swhile (cond, body) ->
+    let tc = check_expr ctx cond in
+    if not (is_scalar tc.typ) then errorf "non-scalar condition";
+    TSwhile (tc, check_stmts ctx ~in_loop:true body)
+  | Ast.Sfor (init, cond, step, body) ->
+    let tinit = Option.map (check_stmt ctx ~in_loop) init in
+    let tcond = Option.map (check_expr ctx) cond in
+    (match tcond with
+    | Some c when not (is_scalar c.typ) -> errorf "non-scalar condition"
+    | Some _ | None -> ());
+    let tstep = Option.map (check_stmt ctx ~in_loop) step in
+    TSfor (tinit, tcond, tstep, check_stmts ctx ~in_loop:true body)
+  | Ast.Sreturn e ->
+    let te = Option.map (check_expr ctx) e in
+    (match te with
+    | Some t when not (is_scalar (decay t.typ)) -> errorf "returning non-scalar"
+    | Some _ | None -> ());
+    TSreturn te
+  | Ast.Sbreak ->
+    if not in_loop then errorf "break outside loop";
+    TSbreak
+  | Ast.Scontinue ->
+    if not in_loop then errorf "continue outside loop";
+    TScontinue
+  | Ast.Sblock body -> TSblock (check_stmts ctx ~in_loop body)
+  | Ast.Sprint_str s -> TSprint_str s
+
+and check_stmts ctx ~in_loop stmts = List.map (check_stmt ctx ~in_loop) stmts
+
+let check_func ctx (f : Ast.func) : tfunc =
+  if List.length f.params > 6 then
+    errorf "%s: more than 6 parameters unsupported" f.fname;
+  let saved = ctx.scope in
+  ctx.scope <-
+    List.map (fun (n, t) -> (n, (t, false))) f.params
+    @ List.map (fun d -> (d.Ast.vname, (d.Ast.vtyp, d.Ast.register))) f.locals;
+  List.iter
+    (fun (d : Ast.vardecl) ->
+      match d.vtyp, d.register with
+      | (Ast.Tarray _ | Ast.Tstruct _), true ->
+        errorf "%s: register array/struct %s" f.fname d.vname
+      | _, _ -> ())
+    f.locals;
+  let dup =
+    let names = List.map fst f.params @ List.map (fun d -> d.Ast.vname) f.locals in
+    let sorted = List.sort String.compare names in
+    let rec find = function
+      | a :: (b :: _ as rest) -> if a = b then Some a else find rest
+      | [ _ ] | [] -> None
+    in
+    find sorted
+  in
+  (match dup with
+  | Some n -> errorf "%s: duplicate declaration of %s" f.fname n
+  | None -> ());
+  let body = check_stmts ctx ~in_loop:false f.body in
+  ctx.scope <- saved;
+  { name = f.fname; params = f.params; locals = f.locals; body }
+
+let check_program (p : Ast.program) : tprogram =
+  let ctx =
+    {
+      structs = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+      scope = [];
+    }
+  in
+  List.iter
+    (fun (s : Ast.struct_decl) ->
+      if Hashtbl.mem ctx.structs s.sname then errorf "duplicate struct %s" s.sname;
+      if s.sfields = [] then errorf "empty struct %s" s.sname;
+      List.iter
+        (fun (f, t) ->
+          match t with
+          | Ast.Tint | Ast.Tptr _ -> ()
+          | Ast.Tstruct _ | Ast.Tarray _ ->
+            errorf "struct %s: field %s must be one word" s.sname f)
+        s.sfields;
+      Hashtbl.add ctx.structs s.sname s.sfields)
+    p.structs;
+  List.iter
+    (fun (d : Ast.vardecl) ->
+      if Hashtbl.mem ctx.globals d.vname then errorf "duplicate global %s" d.vname;
+      ignore (size_words ctx d.vtyp);
+      Hashtbl.add ctx.globals d.vname d.vtyp)
+    p.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem ctx.funcs f.fname then errorf "duplicate function %s" f.fname;
+      if builtin_of_name f.fname <> None then
+        errorf "%s shadows a builtin" f.fname;
+      Hashtbl.add ctx.funcs f.fname (List.map snd f.params))
+    p.funcs;
+  if not (Hashtbl.mem ctx.funcs "main") then errorf "no main function";
+  let funcs = List.map (check_func ctx) p.funcs in
+  {
+    struct_fields = List.map (fun (s : Ast.struct_decl) -> (s.sname, s.sfields)) p.structs;
+    globals = p.globals;
+    funcs;
+  }

@@ -1,0 +1,53 @@
+(** Type checking and elaboration to a typed AST.
+
+    Beyond checking, elaboration resolves struct-field offsets, rewrites
+    [p->f] as a field access through a dereference, classifies builtin
+    calls, and validates lvalues
+    (including the rule that a [register] variable has no address). *)
+
+exception Error of string
+
+type builtin = Print_int | Print_char | Sbrk | Exit
+
+type texpr = { desc : tdesc; typ : Ast.typ }
+
+and tdesc =
+  | Tint_lit of int
+  | Tvar of string
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tunop of Ast.unop * texpr
+  | Tcall of string * texpr list
+  | Tbuiltin of builtin * texpr list
+  | Tindex of texpr * texpr
+  | Tfield of texpr * string * int  (** base, field name, word offset *)
+  | Tderef of texpr
+  | Taddr of texpr
+
+type tstmt =
+  | TSexpr of texpr
+  | TSassign of texpr * texpr
+  | TSif of texpr * tstmt list * tstmt list
+  | TSwhile of texpr * tstmt list
+  | TSfor of tstmt option * texpr option * tstmt option * tstmt list
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+  | TSblock of tstmt list
+  | TSprint_str of string
+
+type tfunc = {
+  name : string;
+  params : (string * Ast.typ) list;
+  locals : Ast.vardecl list;
+  body : tstmt list;
+}
+
+type tprogram = {
+  struct_fields : (string * (string * Ast.typ) list) list;
+  globals : Ast.vardecl list;
+  funcs : tfunc list;
+}
+
+val check_program : Ast.program -> tprogram
+(** @raise Error on any type or scope violation, including a missing
+    [main]. *)

@@ -1,0 +1,1 @@
+lib/sparc/asm.ml: Cond Insn List Reg Word

@@ -1,0 +1,1 @@
+lib/sparc/assembler.ml: Array Asm Format Hashtbl Insn List String Word

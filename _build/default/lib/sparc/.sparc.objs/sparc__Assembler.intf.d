@@ -1,0 +1,1 @@
+lib/sparc/assembler.mli: Asm Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/sparc/cond.mli: Format

@@ -1,0 +1,1 @@
+lib/sparc/insn.ml: Cond Printf Reg String

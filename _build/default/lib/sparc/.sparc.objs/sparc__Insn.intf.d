@@ -1,0 +1,1 @@
+lib/sparc/insn.mli: Cond Reg

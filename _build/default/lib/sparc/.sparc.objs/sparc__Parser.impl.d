@@ -1,0 +1,1 @@
+lib/sparc/parser.ml: Asm Cond Format Insn List Reg String Word

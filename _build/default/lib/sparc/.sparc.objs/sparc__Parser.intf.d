@@ -1,0 +1,1 @@
+lib/sparc/parser.mli: Asm

@@ -1,0 +1,1 @@
+lib/sparc/printer.ml: Asm Cond Fmt Insn List Printf Reg Word

@@ -1,0 +1,1 @@
+lib/sparc/printer.mli: Asm Format Insn

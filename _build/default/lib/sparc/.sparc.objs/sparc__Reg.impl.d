@@ -1,0 +1,1 @@
+lib/sparc/reg.ml: Char Fmt List Printf String

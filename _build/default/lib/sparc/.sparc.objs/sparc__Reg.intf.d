@@ -1,0 +1,1 @@
+lib/sparc/reg.mli: Format

@@ -1,0 +1,1 @@
+lib/sparc/symtab.ml: Fmt List String Word

@@ -1,0 +1,1 @@
+lib/sparc/symtab.mli: Format

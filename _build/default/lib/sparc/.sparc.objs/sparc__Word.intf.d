@@ -1,0 +1,1 @@
+lib/sparc/word.mli: Format

@@ -1,0 +1,101 @@
+type t =
+  | A    (* always *)
+  | N    (* never *)
+  | E    (* equal: Z *)
+  | Ne   (* not equal: !Z *)
+  | G    (* signed greater: !(Z | (N ^ V)) *)
+  | Ge   (* signed greater or equal: !(N ^ V) *)
+  | L    (* signed less: N ^ V *)
+  | Le   (* signed less or equal: Z | (N ^ V) *)
+  | Gu   (* unsigned greater: !(C | Z) *)
+  | Leu  (* unsigned less or equal: C | Z *)
+  | Cc   (* carry clear (unsigned >=): !C *)
+  | Cs   (* carry set (unsigned <): C *)
+  | Pos  (* positive: !N *)
+  | Neg  (* negative: N *)
+  | Vc   (* overflow clear: !V *)
+  | Vs   (* overflow set: V *)
+
+type icc = { n : bool; z : bool; v : bool; c : bool }
+
+let icc_zero = { n = false; z = false; v = false; c = false }
+
+let eval t { n; z; v; c } =
+  match t with
+  | A -> true
+  | N -> false
+  | E -> z
+  | Ne -> not z
+  | G -> not (z || n <> v)
+  | Ge -> n = v
+  | L -> n <> v
+  | Le -> z || n <> v
+  | Gu -> not (c || z)
+  | Leu -> c || z
+  | Cc -> not c
+  | Cs -> c
+  | Pos -> not n
+  | Neg -> n
+  | Vc -> not v
+  | Vs -> v
+
+let negate = function
+  | A -> N
+  | N -> A
+  | E -> Ne
+  | Ne -> E
+  | G -> Le
+  | Le -> G
+  | Ge -> L
+  | L -> Ge
+  | Gu -> Leu
+  | Leu -> Gu
+  | Cc -> Cs
+  | Cs -> Cc
+  | Pos -> Neg
+  | Neg -> Pos
+  | Vc -> Vs
+  | Vs -> Vc
+
+let to_string = function
+  | A -> "a"
+  | N -> "n"
+  | E -> "e"
+  | Ne -> "ne"
+  | G -> "g"
+  | Ge -> "ge"
+  | L -> "l"
+  | Le -> "le"
+  | Gu -> "gu"
+  | Leu -> "leu"
+  | Cc -> "cc"
+  | Cs -> "cs"
+  | Pos -> "pos"
+  | Neg -> "neg"
+  | Vc -> "vc"
+  | Vs -> "vs"
+
+let of_string = function
+  | "a" -> A
+  | "n" -> N
+  | "e" | "z" -> E
+  | "ne" | "nz" -> Ne
+  | "g" -> G
+  | "ge" -> Ge
+  | "l" -> L
+  | "le" -> Le
+  | "gu" -> Gu
+  | "leu" -> Leu
+  | "cc" | "geu" -> Cc
+  | "cs" | "lu" -> Cs
+  | "pos" -> Pos
+  | "neg" -> Neg
+  | "vc" -> Vc
+  | "vs" -> Vs
+  | s -> invalid_arg (Printf.sprintf "Cond.of_string: %S" s)
+
+let equal (a : t) b = a = b
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let all = [ A; N; E; Ne; G; Ge; L; Le; Gu; Leu; Cc; Cs; Pos; Neg; Vc; Vs ]

@@ -1,0 +1,46 @@
+(** Integer condition codes and branch conditions.
+
+    The [icc] record mirrors the SPARC integer condition-code register:
+    negative, zero, overflow and carry, set by the [cc]-modifying ALU
+    instructions ([addcc], [subcc], ...) and consumed by conditional
+    branches. *)
+
+type t =
+  | A    (** always *)
+  | N    (** never *)
+  | E    (** equal *)
+  | Ne   (** not equal *)
+  | G    (** signed greater *)
+  | Ge   (** signed greater or equal *)
+  | L    (** signed less *)
+  | Le   (** signed less or equal *)
+  | Gu   (** unsigned greater *)
+  | Leu  (** unsigned less or equal *)
+  | Cc   (** carry clear, i.e. unsigned greater or equal *)
+  | Cs   (** carry set, i.e. unsigned less *)
+  | Pos  (** non-negative *)
+  | Neg  (** negative *)
+  | Vc   (** overflow clear *)
+  | Vs   (** overflow set *)
+
+type icc = { n : bool; z : bool; v : bool; c : bool }
+
+val icc_zero : icc
+
+val eval : t -> icc -> bool
+(** Whether a branch on this condition is taken given the flags. *)
+
+val negate : t -> t
+(** The complementary condition: [eval (negate t) icc = not (eval t icc)]. *)
+
+val to_string : t -> string
+(** Branch mnemonic suffix, e.g. [Ge] is ["ge"] as in [bge]. *)
+
+val of_string : string -> t
+(** Accepts the synonyms [z]/[nz]/[geu]/[lu].
+    @raise Invalid_argument on unknown mnemonics. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val all : t list

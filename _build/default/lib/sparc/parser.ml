@@ -1,0 +1,327 @@
+exception Error of { line : int; message : string }
+
+let errorf line fmt =
+  Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> errorf line "bad integer %S" s
+
+(* Split an operand list on commas, then trim.  Brackets never contain
+   commas in this syntax, so a flat split is safe. *)
+let split_operands s =
+  String.split_on_char ',' s
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let parse_reg line s =
+  try Reg.of_string s with Invalid_argument _ -> errorf line "bad register %S" s
+
+let parse_operand line s =
+  if String.length s > 0 && s.[0] = '%' then Insn.Reg (parse_reg line s)
+  else Insn.Imm (parse_int line s)
+
+(* Addresses: [%r], [%r+imm], [%r-imm], [%r+%r2]. *)
+let parse_address line s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    errorf line "bad address %S" s
+  else begin
+    let body = String.sub s 1 (n - 2) in
+    let split_at i =
+      let base = String.trim (String.sub body 0 i) in
+      let rest = String.trim (String.sub body i (String.length body - i)) in
+      (base, rest)
+    in
+    let rec find_sep i =
+      if i >= String.length body then None
+      else if (body.[i] = '+' || body.[i] = '-') && i > 0 then Some i
+      else find_sep (i + 1)
+    in
+    match find_sep 0 with
+    | None -> (parse_reg line (String.trim body), Insn.Imm 0)
+    | Some i ->
+      let base, rest = split_at i in
+      let base = parse_reg line base in
+      if String.length rest > 1 && rest.[1] = '%' then
+        (* "+%rN" — register offset. *)
+        (base, Insn.Reg (parse_reg line (String.sub rest 1 (String.length rest - 1))))
+      else (base, Insn.Imm (parse_int line rest))
+  end
+
+let parse_target line s =
+  if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    Insn.Abs (parse_int line s)
+  else Insn.Sym s
+
+(* "label" | "label+off" | "label-off" for the set pseudo. *)
+let parse_label_offset line s =
+  let rec find i =
+    if i >= String.length s then None
+    else if s.[i] = '+' || s.[i] = '-' then Some i
+    else find (i + 1)
+  in
+  match find 1 with
+  | None -> (s, 0)
+  | Some i ->
+    let label = String.sub s 0 i in
+    let off = parse_int line (String.sub s i (String.length s - i)) in
+    (label, off)
+
+let parse_hi line s =
+  (* %hi(0x...) *)
+  let prefix = "%hi(" in
+  let n = String.length s in
+  if n > 5 && String.sub s 0 4 = prefix && s.[n - 1] = ')' then
+    let v = parse_int line (String.sub s 4 (n - 5)) in
+    Word.to_unsigned v lsr 10
+  else errorf line "bad sethi operand %S" s
+
+let ld_widths =
+  [
+    ("ld", (Insn.Word, true));
+    ("ldsb", (Insn.Byte, true));
+    ("ldub", (Insn.Byte, false));
+    ("ldsh", (Insn.Half, true));
+    ("lduh", (Insn.Half, false));
+    ("ldd", (Insn.Double, true));
+  ]
+
+let st_widths =
+  [ ("st", Insn.Word); ("stb", Insn.Byte); ("sth", Insn.Half); ("std", Insn.Double) ]
+
+let parse_insn line mnemonic operands : Asm.item list =
+  let ops = split_operands operands in
+  let expect n =
+    if List.length ops <> n then
+      errorf line "%s: expected %d operands, got %d" mnemonic n (List.length ops)
+  in
+  let alu_item ?cc op =
+    expect 3;
+    match ops with
+    | [ a; b; c ] ->
+      [ Asm.Insn (Asm.alu ?cc op (parse_reg line a) (parse_operand line b) (parse_reg line c)) ]
+    | _ -> assert false
+  in
+  let strip_cc m = String.sub m 0 (String.length m - 2) in
+  match mnemonic with
+  | "nop" -> [ Asm.Insn Asm.nop ]
+  | "ret" -> [ Asm.Insn Asm.ret ]
+  | "retl" -> [ Asm.Insn Asm.retl ]
+  | "sethi" -> (
+    expect 2;
+    match ops with
+    | [ hi; rd ] ->
+      [ Asm.Insn (Asm.sethi (parse_hi line hi) (parse_reg line rd)) ]
+    | _ -> assert false)
+  | "set" -> (
+    expect 2;
+    match ops with
+    | [ v; rd ] ->
+      let rd = parse_reg line rd in
+      if String.length v > 0 && (v.[0] = '-' || (v.[0] >= '0' && v.[0] <= '9'))
+      then Asm.insns (Asm.set (parse_int line v) rd)
+      else
+        let label, offset = parse_label_offset line v in
+        [ Asm.Set_label { label; offset; rd } ]
+    | _ -> assert false)
+  | "mov" -> (
+    expect 2;
+    match ops with
+    | [ a; rd ] ->
+      [ Asm.Insn (Asm.mov (parse_operand line a) (parse_reg line rd)) ]
+    | _ -> assert false)
+  | "cmp" -> (
+    expect 2;
+    match ops with
+    | [ a; b ] -> [ Asm.Insn (Asm.cmp (parse_reg line a) (parse_operand line b)) ]
+    | _ -> assert false)
+  | "tst" -> (
+    expect 1;
+    match ops with
+    | [ a ] -> [ Asm.Insn (Asm.tst (parse_reg line a)) ]
+    | _ -> assert false)
+  | "call" -> (
+    expect 1;
+    match ops with
+    | [ t ] -> [ Asm.Insn (Insn.Call { target = parse_target line t }) ]
+    | _ -> assert false)
+  | "jmpl" -> (
+    expect 2;
+    match ops with
+    | [ addr; rd ] ->
+      (* "rs1+off" without brackets *)
+      let base, off = parse_address line ("[" ^ addr ^ "]") in
+      [ Asm.Insn (Asm.jmpl base off (parse_reg line rd)) ]
+    | _ -> assert false)
+  | "save" -> (
+    expect 3;
+    match ops with
+    | [ a; b; c ] ->
+      [
+        Asm.Insn
+          (Insn.Save
+             {
+               rs1 = parse_reg line a;
+               op2 = parse_operand line b;
+               rd = parse_reg line c;
+             });
+      ]
+    | _ -> assert false)
+  | "restore" ->
+    if ops = [] then [ Asm.Insn Asm.restore ]
+    else (
+      expect 3;
+      match ops with
+      | [ a; b; c ] ->
+        [
+          Asm.Insn
+            (Insn.Restore
+               {
+                 rs1 = parse_reg line a;
+                 op2 = parse_operand line b;
+                 rd = parse_reg line c;
+               });
+        ]
+      | _ -> assert false)
+  | "ta" -> (
+    expect 1;
+    match ops with
+    | [ n ] -> [ Asm.Insn (Asm.trap (parse_int line n)) ]
+    | _ -> assert false)
+  | m when List.mem_assoc m ld_widths -> (
+    expect 2;
+    let width, signed = List.assoc m ld_widths in
+    match ops with
+    | [ addr; rd ] ->
+      let rs1, off = parse_address line addr in
+      [ Asm.Insn (Asm.ld ~width ~signed rs1 off (parse_reg line rd)) ]
+    | _ -> assert false)
+  | m when List.mem_assoc m st_widths -> (
+    expect 2;
+    let width = List.assoc m st_widths in
+    match ops with
+    | [ rd; addr ] ->
+      let rs1, off = parse_address line addr in
+      [ Asm.Insn (Asm.st ~width (parse_reg line rd) rs1 off) ]
+    | _ -> assert false)
+  | m
+    when String.length m > 2
+         && String.sub m (String.length m - 2) 2 = "cc"
+         && (try ignore (Insn.alu_of_string (strip_cc m)); true
+             with Invalid_argument _ -> false) ->
+    alu_item ~cc:true (Insn.alu_of_string (strip_cc m))
+  | m when (try ignore (Insn.alu_of_string m); true with Invalid_argument _ -> false)
+    ->
+    alu_item (Insn.alu_of_string m)
+  | m when String.length m > 1 && m.[0] = 'b' -> (
+    let cond =
+      try Cond.of_string (String.sub m 1 (String.length m - 1))
+      with Invalid_argument _ -> errorf line "unknown mnemonic %S" m
+    in
+    expect 1;
+    match ops with
+    | [ t ] -> [ Asm.Insn (Insn.Branch { cond; target = parse_target line t }) ]
+    | _ -> assert false)
+  | m -> errorf line "unknown mnemonic %S" m
+
+type section = Text | Data
+
+let program_of_string src : Asm.program =
+  let text = ref [] in
+  let data = ref [] in
+  let entry = ref "main" in
+  let section = ref Text in
+  let current_data : (string * int ref * int list ref) option ref = ref None in
+  let flush_data () =
+    match !current_data with
+    | None -> ()
+    | Some (name, size, init) ->
+      let size = if !size = 0 then 4 * List.length !init else !size in
+      data := { Asm.name; size; init = List.rev !init } :: !data;
+      current_data := None
+  in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun lineno raw ->
+      let line = lineno + 1 in
+      (* Strip inline comments introduced by '!'.  A line that is only a
+         comment is preserved as a Comment item. *)
+      let body, comment =
+        match String.index_opt raw '!' with
+        | Some i ->
+          ( String.sub raw 0 i,
+            Some (String.trim (String.sub raw (i + 1) (String.length raw - i - 1))) )
+        | None -> (raw, None)
+      in
+      let body = String.trim body in
+      if body = "" then begin
+        match comment with
+        | Some c when !section = Text -> text := Asm.Comment c :: !text
+        | Some _ | None -> ()
+      end
+      else begin
+        (* Leading label? *)
+        let body =
+          match String.index_opt body ':' with
+          | Some i
+            when i > 0
+                 && String.for_all is_ident_char (String.sub body 0 i) ->
+            let label = String.sub body 0 i in
+            (match !section with
+            | Text -> text := Asm.Label label :: !text
+            | Data ->
+              flush_data ();
+              current_data := Some (label, ref 0, ref []));
+            String.trim (String.sub body (i + 1) (String.length body - i - 1))
+          | Some _ | None -> body
+        in
+        if body = "" then ()
+        else if body.[0] = '.' then begin
+          let parts =
+            String.split_on_char ' ' body
+            |> List.concat_map (String.split_on_char '\t')
+            |> List.filter (fun s -> s <> "")
+          in
+          match parts with
+          | [ ".text" ] ->
+            flush_data ();
+            section := Text
+          | [ ".data" ] -> section := Data
+          | [ ".entry"; name ] -> entry := name
+          | [ ".skip"; n ] -> (
+            match !current_data with
+            | Some (_, size, init) -> size := (4 * List.length !init) + parse_int line n
+            | None -> errorf line ".skip outside a data definition")
+          | [ ".word"; n ] -> (
+            match !current_data with
+            | Some (_, _, init) -> init := parse_int line n :: !init
+            | None -> errorf line ".word outside a data definition")
+          | _ -> errorf line "bad directive %S" body
+        end
+        else begin
+          match !section with
+          | Data -> errorf line "instruction in data section"
+          | Text ->
+            let mnemonic, operands =
+              match String.index_opt body ' ' with
+              | None -> (body, "")
+              | Some i ->
+                ( String.sub body 0 i,
+                  String.trim (String.sub body (i + 1) (String.length body - i - 1))
+                )
+            in
+            let items = parse_insn line mnemonic operands in
+            List.iter (fun item -> text := item :: !text) items
+        end
+      end)
+    lines;
+  flush_data ();
+  { Asm.text = List.rev !text; data = List.rev !data; entry = !entry }

@@ -1,0 +1,12 @@
+(** Parser for the textual assembly syntax produced by {!Printer}.
+
+    The grammar is line-oriented: optional [label:] prefix, one
+    instruction or directive per line, ['!'] comments.  Directives:
+    [.text], [.data], [.entry name], and within a data definition
+    [.word n] / [.skip n].  Pseudo-instructions [set], [mov], [cmp],
+    [tst], [ret], [retl] are accepted and expanded. *)
+
+exception Error of { line : int; message : string }
+
+val program_of_string : string -> Asm.program
+(** @raise Error with a 1-based line number on malformed input. *)

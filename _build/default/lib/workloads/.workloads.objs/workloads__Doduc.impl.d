@@ -1,0 +1,1 @@
+lib/workloads/doduc.ml: Workload

@@ -1,0 +1,1 @@
+lib/workloads/eqntott.ml: Workload

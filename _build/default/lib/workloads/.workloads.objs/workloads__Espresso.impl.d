@@ -1,0 +1,1 @@
+lib/workloads/espresso.ml: Workload

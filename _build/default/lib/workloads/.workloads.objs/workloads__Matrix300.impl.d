@@ -1,0 +1,1 @@
+lib/workloads/matrix300.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Doduc Eqntott Espresso Fpppp Gcc Li List Matrix300 Nasker Spice String Tomcatv Workload

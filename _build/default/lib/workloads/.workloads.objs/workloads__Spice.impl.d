@@ -1,0 +1,1 @@
+lib/workloads/spice.ml: Workload

@@ -1,0 +1,1 @@
+lib/workloads/tomcatv.ml: Printf Workload

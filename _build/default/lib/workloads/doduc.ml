@@ -1,0 +1,88 @@
+(* 015.doduc analogue: Monte-Carlo reactor kernel in fixed point.
+
+   Scalar-dominated nested loops with short array passes; high symbol
+   elimination plus a modest range-check contribution, like the paper's
+   doduc row (84.7% symbol, 10.6% range). *)
+
+let source = {|
+int flux[128];
+int absorb[128];
+int seed;
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+/* One particle history: a chain of scalar state updates. */
+int history(int energy) {
+  int pos;
+  int weight;
+  int collisions;
+  int sigma;
+  pos = 0;
+  weight = 4096;
+  collisions = 0;
+  while (weight > 64 && collisions < 40) {
+    sigma = 600 + (energy & 255);
+    pos = pos + (next_rand() % 17) - 8;
+    if (pos < 0) { pos = -pos; }
+    if (pos > 127) { pos = 255 - pos; }
+    weight = (weight * 939) / 1024;
+    energy = energy - (energy / (sigma & 31 | 1));
+    if (energy < 0) { energy = -energy; }
+    collisions = collisions + 1;
+  }
+  return collisions;
+}
+
+int tally(int n) {
+  int i;
+  int e;
+  int total;
+  total = 0;
+  for (i = 0; i < n; i = i + 1) {
+    e = next_rand();
+    total = total + history(e);
+  }
+  return total;
+}
+
+int smooth() {
+  int i;
+  for (i = 1; i < 127; i = i + 1) {
+    flux[i] = (flux[i - 1] + flux[i] * 2 + flux[i + 1]) / 4;
+  }
+  return 0;
+}
+
+int main() {
+  int pass;
+  int acc;
+  int i;
+  seed = 31415;
+  for (i = 0; i < 128; i = i + 1) {
+    flux[i] = next_rand() & 1023;
+    absorb[i] = next_rand() & 511;
+  }
+  acc = 0;
+  for (pass = 0; pass < 3; pass = pass + 1) {
+    acc = acc + tally(120);
+    smooth();
+    for (i = 0; i < 128; i = i + 1) {
+      absorb[i] = absorb[i] + (flux[i] >> 3);
+    }
+  }
+  return (acc + absorb[64]) & 255;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "015.doduc";
+    lang = Workload.Fortran;
+    description = "Monte-Carlo particle histories; scalar-heavy nested loops";
+    source;
+    library_functions = [];
+    expected_exit = Some 88;
+  }

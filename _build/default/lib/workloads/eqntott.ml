@@ -1,0 +1,99 @@
+(* 023.eqntott analogue: truth-table minterm sorting and comparison.
+
+   The real program spends its time in qsort/cmppt over bit patterns,
+   with register-resident loop counters and very few memory writes per
+   instruction — the paper's lowest-overhead benchmark. *)
+
+let source = {|
+int seed;
+int terms[256];
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+/* Compare two minterms the way cmppt does: bit-pair at a time, all in
+   registers. */
+int cmppt(int a, int b) {
+  register int i;
+  register int x;
+  register int y;
+  i = 0;
+  while (i < 16) {
+    x = (a >> (i * 2)) & 3;
+    y = (b >> (i * 2)) & 3;
+    if (x < y) { return -1; }
+    if (x > y) { return 1; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+/* Shell sort standing in for libc qsort: like the paper's unpatched
+   standard library, its stores are not checked (the harness excludes
+   this function from instrumentation). */
+int qsort_lib(int n) {
+  int gap;
+  int tmp;
+  register int i;
+  register int j;
+  gap = n / 2;
+  while (gap > 0) {
+    for (i = gap; i < n; i = i + 1) {
+      tmp = terms[i];
+      j = i;
+      while (j >= gap && cmppt(terms[j - gap], tmp) > 0) {
+        terms[j] = terms[j - gap];
+        j = j - gap;
+      }
+      terms[j] = tmp;
+    }
+    gap = gap / 2;
+  }
+  return 0;
+}
+
+int count_transitions(int n) {
+  register int i;
+  register int acc;
+  acc = 0;
+  for (i = 1; i < n; i = i + 1) {
+    if (cmppt(terms[i - 1], terms[i]) != 0) {
+      acc = acc + 1;
+    }
+  }
+  return acc;
+}
+
+int main() {
+  int n;
+  int i;
+  int total;
+  n = 256;
+  seed = 99;
+  total = 0;
+  for (i = 0; i < n; i = i + 1) {
+    terms[i] = next_rand() * (next_rand() & 15);
+  }
+  qsort_lib(n);
+  total = count_transitions(n);
+  /* Verify sortedness the register-heavy way. */
+  for (i = 1; i < n; i = i + 1) {
+    if (cmppt(terms[i - 1], terms[i]) > 0) {
+      return -1;
+    }
+  }
+  return total;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "023.eqntott";
+    lang = Workload.C;
+    description = "minterm sort/compare; register-heavy, few stores";
+    source;
+    library_functions = [ "qsort_lib" ];
+    expected_exit = Some 232;
+  }

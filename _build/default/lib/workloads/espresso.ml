@@ -1,0 +1,130 @@
+(* 008.espresso analogue: two-level logic minimization over cube sets.
+
+   Cubes are bit-vector rows; the inner loops intersect, cover-check and
+   merge cubes through pointers, with register-declared counters (the
+   real espresso uses C's register class heavily, which the paper notes
+   reduces both the need and the opportunity for check elimination). *)
+
+let source = {|
+int seed;
+int cubes[512];      /* 128 cubes x 4 words */
+int cover[512];
+int ncubes;
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+/* Does cube a contain cube b?  Pure register loop over the words. */
+int contains(int *a, int *b) {
+  register int k;
+  register int av;
+  register int bv;
+  for (k = 0; k < 4; k = k + 1) {
+    av = a[k];
+    bv = b[k];
+    if ((av | bv) != av) { return 0; }
+  }
+  return 1;
+}
+
+int op_stats[2];
+
+/* Intersect cubes a and b into out; returns 1 when non-empty.  The
+   operation counter is bumped through a loop-invariant pointer — the
+   kind of write the optimizer's invariant-check motion targets. */
+int intersect(int *a, int *b, int *out) {
+  register int k;
+  register int v;
+  int nonzero;
+  int *ops;
+  ops = &op_stats[0];
+  nonzero = 0;
+  for (k = 0; k < 4; k = k + 1) {
+    v = a[k] & b[k];
+    out[k] = v;
+    *ops = *ops + 1;
+    if (v != 0) { nonzero = 1; }
+  }
+  return nonzero;
+}
+
+int popcount(int v) {
+  register int c;
+  c = 0;
+  while (v != 0) {
+    c = c + (v & 1);
+    v = (v >> 1) & 2147483647;
+  }
+  return c;
+}
+
+int expand_pass() {
+  register int i;
+  register int j;
+  int gained;
+  int tmp[4];
+  gained = 0;
+  for (i = 0; i < ncubes; i = i + 1) {
+    for (j = 0; j < ncubes; j = j + 1) {
+      if (i != j) {
+        if (intersect(&cubes[i * 4], &cubes[j * 4], tmp)) {
+          if (contains(&cubes[i * 4], tmp)) {
+            gained = gained + popcount(tmp[0] ^ tmp[3]);
+          }
+        }
+      }
+    }
+  }
+  return gained;
+}
+
+int irredundant_pass() {
+  register int i;
+  register int j;
+  int kept;
+  kept = 0;
+  for (i = 0; i < ncubes; i = i + 1) {
+    j = 0;
+    while (j < ncubes && (j == i || contains(&cubes[j * 4], &cubes[i * 4]) == 0)) {
+      j = j + 1;
+    }
+    if (j == ncubes) {
+      cover[kept * 4] = cubes[i * 4];
+      cover[kept * 4 + 1] = cubes[i * 4 + 1];
+      cover[kept * 4 + 2] = cubes[i * 4 + 2];
+      cover[kept * 4 + 3] = cubes[i * 4 + 3];
+      kept = kept + 1;
+    }
+  }
+  return kept;
+}
+
+int main() {
+  int i;
+  int passes;
+  int score;
+  seed = 7;
+  ncubes = 44;
+  for (i = 0; i < ncubes * 4; i = i + 1) {
+    cubes[i] = next_rand() | (next_rand() << 15);
+  }
+  score = 0;
+  for (passes = 0; passes < 2; passes = passes + 1) {
+    score = score + expand_pass();
+    score = score + irredundant_pass();
+  }
+  return score & 255;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "008.espresso";
+    lang = Workload.C;
+    description = "cube-set logic minimization; register loops over bit vectors";
+    source;
+    library_functions = [];
+    expected_exit = Some 160;
+  }

@@ -1,0 +1,73 @@
+(* 042.fpppp analogue: two-electron integral kernel.
+
+   The real fpppp is dominated by enormous straight-line basic blocks
+   of floating-point scalar arithmetic; here the same shape in fixed
+   point — long unrolled update chains over many distinct scalars, with
+   a small array pass between blocks. *)
+
+let source = {|
+int table[64];
+int seed;
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+/* One "integral block": a long straight-line chain of scalar updates
+   (the compiler keeps each in its frame home, so every statement is a
+   matched stack write). */
+int block(int x, int y) {
+  int t1; int t2; int t3; int t4; int t5; int t6; int t7; int t8;
+  int t9; int t10; int t11; int t12;
+  t1 = x * 3 + y;
+  t2 = t1 * t1 / 64 + x;
+  t3 = t2 - y * 7;
+  t4 = (t3 << 2) + t1;
+  t5 = t4 / 3 + t2;
+  t6 = t5 - t4 / 5;
+  t7 = (t6 & 8191) * 3;
+  t8 = t7 + t3 - t1;
+  t9 = t8 / 7 + t6;
+  t10 = (t9 ^ t5) & 16383;
+  t11 = t10 + t8 / 3;
+  t12 = t11 - t9 / 9;
+  t1 = t12 + t10 / 2;
+  t2 = t1 - t11 / 4;
+  t3 = (t2 & 4095) + t12;
+  t4 = t3 + t1 / 6;
+  t5 = t4 - t2 / 8;
+  t6 = (t5 ^ t3) & 8191;
+  return t6 + t4 % 97;
+}
+
+int main() {
+  int i;
+  int j;
+  int acc;
+  int v;
+  seed = 271828;
+  for (i = 0; i < 64; i = i + 1) {
+    table[i] = next_rand();
+  }
+  acc = 0;
+  for (i = 0; i < 40; i = i + 1) {
+    for (j = 0; j < 32; j = j + 1) {
+      v = block(table[j], table[j + 32]);
+      acc = (acc + v) & 1048575;
+    }
+    table[i & 63] = acc & 32767;
+  }
+  return acc & 255;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "042.fpppp";
+    lang = Workload.Fortran;
+    description = "integral kernel: long straight-line scalar blocks";
+    source;
+    library_functions = [];
+    expected_exit = Some 167;
+  }

@@ -1,0 +1,145 @@
+(* 001.gcc (1.35) analogue: a miniature compiler front end.
+
+   Tokenizes a synthetic source stream, builds expression trees in
+   heap nodes, folds constants, and emits pseudo-instructions into a
+   buffer.  The profile is what made gcc hard for the paper's
+   optimizations: many short functions, call-heavy control flow,
+   pointer-linked structures, and register-declared locals. *)
+
+let source = {|
+int seed;
+int tokens[600];
+int ntokens;
+int emit_buf[2048];
+int emitted;
+int fold_count;
+
+struct node {
+  int op;          /* 0 = leaf, 1 = add, 2 = mul, 3 = sub */
+  int value;
+  struct node *left;
+  struct node *right;
+};
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+int tokenize() {
+  register int i;
+  int n;
+  n = 600;
+  for (i = 0; i < n; i = i + 1) {
+    tokens[i] = next_rand() & 63;
+  }
+  ntokens = n;
+  return n;
+}
+
+struct node *mknode_ptr(int op, int value) {
+  struct node *n;
+  n = malloc(16);
+  n->op = op;
+  n->value = value;
+  n->left = 0;
+  n->right = 0;
+  return n;
+}
+
+/* Recursive-descent-ish tree builder over the token stream. */
+struct node *parse_ptr(int lo, int hi) {
+  struct node *n;
+  struct node *l;
+  struct node *r;
+  int mid;
+  if (hi - lo <= 1) {
+    return mknode_ptr(0, tokens[lo]);
+  }
+  mid = (lo + hi) / 2;
+  l = parse_ptr(lo, mid);
+  r = parse_ptr(mid, hi);
+  n = mknode_ptr(1 + (tokens[lo] & 3) % 3, 0);
+  n->left = l;
+  n->right = r;
+  return n;
+}
+
+int is_leaf(struct node *n) {
+  if (n->op == 0) { return 1; }
+  return 0;
+}
+
+/* Constant folding: rewrite interior nodes whose children are leaves. */
+int fold(struct node *n) {
+  int a;
+  int b;
+  if (n == 0) { return 0; }
+  if (is_leaf(n)) { return n->value; }
+  a = fold(n->left);
+  b = fold(n->right);
+  if (is_leaf(n->left) && is_leaf(n->right)) {
+    if (n->op == 1) { n->value = a + b; }
+    if (n->op == 2) { n->value = (a * b) & 65535; }
+    if (n->op == 3) { n->value = a - b; }
+    n->op = 0;
+    fold_count = fold_count + 1;
+    return n->value;
+  }
+  if (n->op == 1) { return a + b; }
+  if (n->op == 2) { return (a * b) & 65535; }
+  return a - b;
+}
+
+int emit(int insn) {
+  emit_buf[emitted & 2047] = insn;
+  emitted = emitted + 1;
+  return 0;
+}
+
+int codegen(struct node *n) {
+  if (n == 0) { return 0; }
+  if (is_leaf(n)) {
+    emit(n->value | 4096);
+    return 1;
+  }
+  codegen(n->left);
+  codegen(n->right);
+  emit(n->op);
+  return 1;
+}
+
+int free_tree(struct node *n) {
+  if (n == 0) { return 0; }
+  free_tree(n->left);
+  free_tree(n->right);
+  free(n);
+  return 0;
+}
+
+int main() {
+  struct node *tree;
+  int rounds;
+  int acc;
+  seed = 1234;
+  acc = 0;
+  for (rounds = 0; rounds < 6; rounds = rounds + 1) {
+    tokenize();
+    tree = parse_ptr(0, ntokens);
+    acc = acc + fold(tree);
+    codegen(tree);
+    free_tree(tree);
+  }
+  return (acc + emitted + fold_count) & 255;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "001.gcc1.35";
+    lang = Workload.C;
+    description = "mini compiler: tokenize, tree build, fold, emit; call-heavy";
+    source;
+    library_functions = [];
+    expected_exit = Some 6;
+  }

@@ -1,0 +1,120 @@
+(* 022.li analogue: a small Lisp interpreter kernel.
+
+   Cons-cell allocation, recursive list construction and reduction, and
+   a mark phase over the heap — the highest dynamic store density in
+   the suite (the paper's worst case for checking every write). *)
+
+let source = {|
+int seed;
+int mark_count;
+
+struct cell {
+  int tag;            /* 0 = number, 1 = cons */
+  int value;
+  struct cell *car;
+  struct cell *cdr;
+  int mark;
+};
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+struct cell *num_ptr(int v) {
+  struct cell *c;
+  c = malloc(20);
+  c->tag = 0;
+  c->value = v;
+  c->car = 0;
+  c->cdr = 0;
+  c->mark = 0;
+  return c;
+}
+
+struct cell *cons_ptr(struct cell *a, struct cell *d) {
+  struct cell *c;
+  c = malloc(20);
+  c->tag = 1;
+  c->value = 0;
+  c->car = a;
+  c->cdr = d;
+  c->mark = 0;
+  return c;
+}
+
+/* (iota n): build the list (n-1 ... 1 0). */
+struct cell *iota_ptr(int n) {
+  struct cell *lst;
+  int i;
+  lst = 0;
+  for (i = 0; i < n; i = i + 1) {
+    lst = cons_ptr(num_ptr(i), lst);
+  }
+  return lst;
+}
+
+/* (mapcar (lambda (x) (* x x)) lst) */
+struct cell *mapsq_ptr(struct cell *lst) {
+  if (lst == 0) { return 0; }
+  return cons_ptr(num_ptr(lst->car->value * lst->car->value), mapsq_ptr(lst->cdr));
+}
+
+int reduce_sum(struct cell *lst) {
+  if (lst == 0) { return 0; }
+  return lst->car->value + reduce_sum(lst->cdr);
+}
+
+int mark(struct cell *c) {
+  if (c == 0) { return 0; }
+  if (c->mark != 0) { return 0; }
+  c->mark = 1;
+  mark_count = mark_count + 1;
+  if (c->tag == 1) {
+    mark(c->car);
+    mark(c->cdr);
+  }
+  return 0;
+}
+
+int sweep(struct cell *c) {
+  struct cell *next;
+  while (c != 0) {
+    next = c->cdr;
+    if (c->tag == 1) { sweep(c->car); }
+    c->mark = 0;
+    free(c);
+    c = next;
+  }
+  return 0;
+}
+
+int main() {
+  struct cell *lst;
+  struct cell *sq;
+  int rounds;
+  int acc;
+  seed = 5;
+  acc = 0;
+  for (rounds = 0; rounds < 10; rounds = rounds + 1) {
+    lst = iota_ptr(60 + (next_rand() & 15));
+    sq = mapsq_ptr(lst);
+    acc = acc + reduce_sum(sq);
+    mark(lst);
+    mark(sq);
+    sweep(sq);
+    sweep(lst);
+  }
+  return (acc + mark_count) & 255;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "022.li";
+    lang = Workload.C;
+    description = "lisp kernel: cons cells, recursion, mark/sweep; store-heavy";
+    source;
+    library_functions = [];
+    expected_exit = Some 54;
+  }

@@ -1,0 +1,115 @@
+(* 020.nasker analogue: the NAS kernel mix.
+
+   Several distinct loop kernels — MXM-style products, a Cholesky-like
+   sweep, a GMTRY-style strided update, an EMIT-style gather — giving
+   the blend of monotonic sweeps and guarded scalar loops the paper
+   reports for nasker (42.6% symbol + 34.5% range eliminated). *)
+
+let source = {|
+int va[512];
+int vb[512];
+int vc[512];
+int mat[256];   /* 16 x 16 */
+int seed;
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+int kernel_mxm() {
+  int i;
+  int j;
+  int k;
+  int sum;
+  for (i = 0; i < 16; i = i + 1) {
+    for (j = 0; j < 16; j = j + 1) {
+      sum = 0;
+      for (k = 0; k < 16; k = k + 1) {
+        sum = sum + mat[i * 16 + k] * mat[k * 16 + j];
+      }
+      vc[i * 16 + j] = sum & 65535;
+    }
+  }
+  return 0;
+}
+
+int kernel_cholesky() {
+  int i;
+  int j;
+  int d;
+  for (i = 0; i < 16; i = i + 1) {
+    d = mat[i * 16 + i] | 1;
+    for (j = i; j < 16; j = j + 1) {
+      mat[i * 16 + j] = mat[i * 16 + j] / d + 1;
+    }
+  }
+  return 0;
+}
+
+int kernel_gmtry(int stride) {
+  int i;
+  for (i = 0; i < 512; i = i + stride) {
+    va[i] = va[i] + vb[i] * 3;
+  }
+  return 0;
+}
+
+int accbox[2];
+
+/* EMIT-style gather: the running total lives behind a loop-invariant
+   pointer, so its per-iteration store is movable to the pre-header. */
+int kernel_emit() {
+  int i;
+  int *ap;
+  ap = &accbox[0];
+  *ap = 0;
+  for (i = 0; i < 512; i = i + 1) {
+    *ap = *ap + va[i] * vb[511 - i];
+    vc[i] = *ap & 131071;
+  }
+  return *ap;
+}
+
+int kernel_vpenta() {
+  int i;
+  for (i = 2; i < 510; i = i + 1) {
+    va[i] = (va[i - 2] + va[i - 1] * 2 + va[i] * 3 + va[i + 1] * 2 + va[i + 2]) / 9;
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int pass;
+  int acc;
+  seed = 6502;
+  for (i = 0; i < 512; i = i + 1) {
+    va[i] = next_rand() & 2047;
+    vb[i] = next_rand() & 2047;
+  }
+  for (i = 0; i < 256; i = i + 1) {
+    mat[i] = (next_rand() & 255) + 1;
+  }
+  acc = 0;
+  for (pass = 0; pass < 3; pass = pass + 1) {
+    kernel_mxm();
+    kernel_cholesky();
+    kernel_gmtry(2);
+    kernel_gmtry(3);
+    acc = acc + kernel_emit();
+    kernel_vpenta();
+  }
+  return acc & 255;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "020.nasker";
+    lang = Workload.Fortran;
+    description = "NAS kernel mix: matmul, cholesky sweep, strided updates";
+    source;
+    library_functions = [];
+    expected_exit = Some 180;
+  }

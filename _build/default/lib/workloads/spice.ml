@@ -1,0 +1,102 @@
+(* 013.spice2g6 analogue: sparse-matrix circuit solve.
+
+   Sparse matrix-vector products with indirect column indices (whose
+   write targets are NOT statically boundable), Gauss-Seidel-style
+   relaxation sweeps, and scalar bookkeeping — reproducing spice's
+   profile of high symbol elimination but little range elimination. *)
+
+let source = {|
+int rowptr[65];
+int colidx[640];
+int val[640];
+int x[64];
+int y[64];
+int seed;
+int nnz;
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+int build_matrix() {
+  int r;
+  int k;
+  int c;
+  nnz = 0;
+  for (r = 0; r < 64; r = r + 1) {
+    rowptr[r] = nnz;
+    for (k = 0; k < 10; k = k + 1) {
+      c = next_rand() & 63;
+      colidx[nnz] = c;
+      val[nnz] = (next_rand() & 255) - 128;
+      nnz = nnz + 1;
+    }
+  }
+  rowptr[64] = nnz;
+  return nnz;
+}
+
+/* y = A * x with indirect accesses. */
+int spmv() {
+  int r;
+  int k;
+  int sum;
+  for (r = 0; r < 64; r = r + 1) {
+    sum = 0;
+    for (k = rowptr[r]; k < rowptr[r + 1]; k = k + 1) {
+      sum = sum + val[k] * x[colidx[k]];
+    }
+    y[r] = sum / 16;
+  }
+  return 0;
+}
+
+/* Scatter with indirect targets: unboundable writes. */
+int scatter() {
+  int k;
+  for (k = 0; k < nnz; k = k + 1) {
+    x[colidx[k]] = x[colidx[k]] + (val[k] >> 4);
+  }
+  return 0;
+}
+
+int relax() {
+  int i;
+  for (i = 1; i < 63; i = i + 1) {
+    x[i] = (x[i - 1] + x[i] + x[i + 1] + y[i]) / 4;
+  }
+  return 0;
+}
+
+int main() {
+  int iter;
+  int i;
+  int acc;
+  seed = 777;
+  build_matrix();
+  for (i = 0; i < 64; i = i + 1) {
+    x[i] = next_rand() & 511;
+  }
+  for (iter = 0; iter < 12; iter = iter + 1) {
+    spmv();
+    scatter();
+    relax();
+  }
+  acc = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    acc = acc + x[i];
+  }
+  return acc & 255;
+}
+|}
+
+let workload =
+  {
+    Workload.name = "013.spice2g6";
+    lang = Workload.Fortran;
+    description = "sparse matrix solve: indirect indices, relaxation sweeps";
+    source;
+    library_functions = [];
+    expected_exit = Some 2;
+  }

@@ -1,0 +1,89 @@
+(* 047.tomcatv analogue: vectorized mesh generation.
+
+   Jacobi-style relaxation over 2D meshes stored row-major, with
+   doubly-nested monotonic loops; strong symbol + range elimination as
+   in the paper's tomcatv row. *)
+
+let n = 24
+
+let source = Printf.sprintf {|
+int xm[%d];
+int ym[%d];
+int rxm[%d];
+int rym[%d];
+int seed;
+
+int next_rand() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 32767;
+}
+
+int init() {
+  int i;
+  for (i = 0; i < %d; i = i + 1) {
+    xm[i] = next_rand() & 1023;
+    ym[i] = next_rand() & 1023;
+  }
+  return 0;
+}
+
+int residuals() {
+  int i;
+  int j;
+  int p;
+  for (i = 1; i < %d; i = i + 1) {
+    for (j = 1; j < %d; j = j + 1) {
+      p = i * %d + j;
+      rxm[p] = xm[p - 1] + xm[p + 1] + xm[p - %d] + xm[p + %d] - 4 * xm[p];
+      rym[p] = ym[p - 1] + ym[p + 1] + ym[p - %d] + ym[p + %d] - 4 * ym[p];
+    }
+  }
+  return 0;
+}
+
+int update() {
+  int i;
+  int j;
+  int p;
+  for (i = 1; i < %d; i = i + 1) {
+    for (j = 1; j < %d; j = j + 1) {
+      p = i * %d + j;
+      xm[p] = xm[p] + rxm[p] / 8;
+      ym[p] = ym[p] + rym[p] / 8;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  int iter;
+  int i;
+  int acc;
+  seed = 42;
+  init();
+  for (iter = 0; iter < 6; iter = iter + 1) {
+    residuals();
+    update();
+  }
+  acc = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    acc = acc + xm[i] + ym[i];
+  }
+  return acc & 255;
+}
+|}
+  (n * n) (n * n) (n * n) (n * n)  (* arrays *)
+  (n * n)                          (* init bound *)
+  (n - 1) (n - 1) n n n n n        (* residuals *)
+  (n - 1) (n - 1) n                (* update *)
+  (n * n)                          (* checksum *)
+
+let workload =
+  {
+    Workload.name = "047.tomcatv";
+    lang = Workload.Fortran;
+    description = "2D mesh relaxation; nested monotonic sweeps";
+    source;
+    library_functions = [];
+    expected_exit = Some 249;
+  }

@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array Asm Assembler Checkgen Dbp Insn Instrument Ir Layout List Minic Mrs Option Parser Printer Reg Session Sparc Strategy String Symopt Symtab Traps Write_type

@@ -1,0 +1,1 @@
+test/test_dbp.ml: Alcotest Array Dbp Debugger Hashtbl Instrument Layout List Machine Minic Mrs Option Printf QCheck QCheck_alcotest Region Segbitmap Session Sparc Strategy Write_type

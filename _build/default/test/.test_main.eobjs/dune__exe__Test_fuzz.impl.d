@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Dbp Debugger Instrument List Minic Printf QCheck QCheck_alcotest Session Strategy String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Hashtbl Insn Ir List Minic Reg Sparc

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Assembler Cache Char Cond Cpu Insn List Machine Memory Option Reg Sparc Windows Word

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core_units Test_dbp Test_fuzz Test_ir Test_machine Test_minic Test_sparc Test_workloads

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Minic Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sparc.ml: Alcotest Array Asm Cond Insn List Option Printer Printf QCheck QCheck_alcotest Reg Sparc Symtab Word

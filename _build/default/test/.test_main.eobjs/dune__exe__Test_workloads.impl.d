@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dbp Instrument List Machine Minic Mrs Printf Session Sparc Strategy Workloads

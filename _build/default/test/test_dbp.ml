@@ -1,0 +1,748 @@
+open Dbp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- region sets ----------------------------------------------------------- *)
+
+let test_region_basics () =
+  let r = Region.v ~addr:0x1000 ~size_bytes:8 () in
+  check_int "size" 8 (Region.size_bytes r);
+  check_bool "contains lo" true (Region.contains r 0x1000);
+  check_bool "contains last byte" true (Region.contains r 0x1007);
+  check_bool "not past end" false (Region.contains r 0x1008);
+  Alcotest.check_raises "misaligned" (Region.Invalid "region address not word aligned")
+    (fun () -> ignore (Region.v ~addr:0x1002 ~size_bytes:4 ()));
+  Alcotest.check_raises "bad size" (Region.Invalid "region size not a positive word multiple")
+    (fun () -> ignore (Region.v ~addr:0x1000 ~size_bytes:6 ()))
+
+let test_region_set () =
+  let s = Region.empty in
+  let r1 = Region.v ~addr:0x1000 ~size_bytes:4 () in
+  let r2 = Region.v ~addr:0x2000 ~size_bytes:16 () in
+  let s = Region.add (Region.add s r1) r2 in
+  check_int "cardinal" 2 (Region.cardinal s);
+  (match Region.find_containing s 0x2008 with
+  | Some r -> check_bool "found r2" true (Region.equal r r2)
+  | None -> Alcotest.fail "lookup failed");
+  check_bool "no hit" true (Region.find_containing s 0x1800 = None);
+  check_bool "range intersect" true (Region.intersects_range s ~lo:0x1F00 ~hi:0x2003);
+  check_bool "range miss" false (Region.intersects_range s ~lo:0x1004 ~hi:0x1FFF);
+  (try
+     ignore (Region.add s (Region.v ~addr:0x2004 ~size_bytes:4 ()));
+     Alcotest.fail "overlap accepted"
+   with Region.Invalid _ -> ());
+  let s = Region.remove s r1 in
+  check_bool "removed" true (Region.find_containing s 0x1000 = None)
+
+(* --- segmented bitmap --------------------------------------------------------- *)
+
+let test_segbitmap_basic () =
+  let layout = Layout.v () in
+  let mem = Machine.Memory.create () in
+  let bm = Segbitmap.create layout mem in
+  let r = Region.v ~addr:0x40_0000 ~size_bytes:12 () in
+  check_bool "initially unmonitored" false (Segbitmap.monitored bm 0x40_0000);
+  Segbitmap.add_region bm r;
+  check_bool "lo monitored" true (Segbitmap.monitored bm 0x40_0000);
+  check_bool "mid monitored" true (Segbitmap.monitored bm 0x40_0004);
+  check_bool "hi monitored" true (Segbitmap.monitored bm 0x40_0008);
+  check_bool "past end" false (Segbitmap.monitored bm 0x40_000C);
+  check_bool "segment flagged" true (Segbitmap.segment_monitored bm 0x40_0000);
+  Segbitmap.remove_region bm r;
+  check_bool "cleared" false (Segbitmap.monitored bm 0x40_0004);
+  check_bool "segment unflagged" false (Segbitmap.segment_monitored bm 0x40_0000)
+
+let test_segbitmap_byte_addresses () =
+  let layout = Layout.v () in
+  let bm = Segbitmap.create layout (Machine.Memory.create ()) in
+  Segbitmap.add_region bm (Region.v ~addr:0x40_0000 ~size_bytes:4 ());
+  (* Any byte of the word maps to the same bit. *)
+  check_bool "byte 1" true (Segbitmap.monitored bm 0x40_0001);
+  check_bool "byte 3" true (Segbitmap.monitored bm 0x40_0003)
+
+let test_segbitmap_cross_segment () =
+  let layout = Layout.v () in
+  let bm = Segbitmap.create layout (Machine.Memory.create ()) in
+  (* Region spanning a 512-byte segment boundary. *)
+  let r = Region.v ~addr:0x40_01FC ~size_bytes:8 () in
+  Segbitmap.add_region bm r;
+  check_bool "last word of seg" true (Segbitmap.monitored bm 0x40_01FC);
+  check_bool "first word of next" true (Segbitmap.monitored bm 0x40_0200);
+  check_bool "both segments flagged" true
+    (Segbitmap.segment_monitored bm 0x40_01FC
+    && Segbitmap.segment_monitored bm 0x40_0200)
+
+let prop_segbitmap_matches_model =
+  QCheck.Test.make ~name:"segmented bitmap agrees with a naive model" ~count:100
+    QCheck.(
+      pair
+        (small_list (pair (int_range 0 2000) (int_range 1 8)))
+        (small_list (int_range 0 9000)))
+    (fun (region_specs, queries) ->
+      let layout = Layout.v () in
+      let bm = Segbitmap.create layout (Machine.Memory.create ()) in
+      let model = Hashtbl.create 64 in
+      let base = 0x40_0000 in
+      (* Build non-overlapping regions from slot indices. *)
+      let used = Hashtbl.create 64 in
+      let regions =
+        List.filter_map
+          (fun (slot, words) ->
+            let addr = base + (slot * 64) in
+            if words * 4 <= 64 && not (Hashtbl.mem used slot) then begin
+              Hashtbl.replace used slot ();
+              Some (Region.v ~addr ~size_bytes:(words * 4) ())
+            end
+            else None)
+          region_specs
+      in
+      List.iter
+        (fun (r : Region.t) ->
+          Segbitmap.add_region bm r;
+          let rec mark a = if a <= r.hi then (Hashtbl.replace model (a lsr 2) (); mark (a + 4)) in
+          mark r.lo)
+        regions;
+      (* Remove every other region. *)
+      List.iteri
+        (fun i (r : Region.t) ->
+          if i mod 2 = 0 then begin
+            Segbitmap.remove_region bm r;
+            let rec unmark a =
+              if a <= r.hi then (Hashtbl.remove model (a lsr 2); unmark (a + 4))
+            in
+            unmark r.lo
+          end)
+        regions;
+      List.for_all
+        (fun q ->
+          let addr = base + (q * 4) in
+          Segbitmap.monitored bm addr = Hashtbl.mem model (addr lsr 2))
+        queries)
+
+(* --- write types ------------------------------------------------------------ *)
+
+let classify_stores ?(fortran_idiom = false) src =
+  let out = Minic.Compile.compile src in
+  let items = Array.of_list out.Minic.Codegen.program.text in
+  let types = ref [] in
+  Array.iteri
+    (fun idx item ->
+      match item with
+      | Sparc.Asm.Insn (Sparc.Insn.St _) ->
+        types := Write_type.classify ~fortran_idiom items idx :: !types
+      | _ -> ())
+    items;
+  List.rev !types
+
+let test_write_types () =
+  (* Local scalar writes: STACK. *)
+  let types = classify_stores "int main() { int x; x = 1; return x; }" in
+  check_bool "stack write present" true (List.mem Write_type.Stack types);
+  (* Global scalar: BSS. *)
+  let types = classify_stores "int g; int main() { g = 1; return g; }" in
+  check_bool "bss write present" true (List.mem Write_type.Bss types);
+  (* Global array with register index: BSS-VAR for FORTRAN-class. *)
+  let src =
+    "int a[10]; int main() { register int i; for (i = 0; i < 10; i = i + 1) \
+     { a[i] = i; } return 0; }"
+  in
+  let types = classify_stores ~fortran_idiom:true src in
+  check_bool "bss-var present" true (List.mem Write_type.Bss_var types);
+  let types = classify_stores ~fortran_idiom:false src in
+  check_bool "degrades to heap for C" true
+    ((not (List.mem Write_type.Bss_var types)) && List.mem Write_type.Heap types);
+  (* Pointer write: HEAP. *)
+  let types =
+    classify_stores
+      "int main() { int *p; p = malloc(8); *p = 1; return *p; }"
+  in
+  check_bool "heap present" true (List.mem Write_type.Heap types)
+
+(* --- end-to-end helpers ---------------------------------------------------------- *)
+
+let options ?(strategy = Strategy.Bitmap_inline_registers) ?(opt = Instrument.O0)
+    ?(check_aliases = false) () =
+  { Instrument.default_options with strategy; opt; check_aliases }
+
+let run_plain src =
+  let code, out = Minic.Compile.run ~fuel:20_000_000 src in
+  (code, out)
+
+let run_session ?options:(o = options ()) ?watch ?(fuel = 20_000_000) src =
+  let session = Session.create ~options:o src in
+  Session.install_oracle session;
+  let dbg = Debugger.create session in
+  let watches = Option.map (fun f -> f dbg) watch in
+  let code, out = Session.run ~fuel session in
+  (session, dbg, watches, code, out)
+
+let semantics_programs =
+  [
+    "int main() { return 42; }";
+    "int g; int main() { int i; for (i = 0; i < 50; i = i + 1) { g = g + i; \
+     } return g % 256; }";
+    "int a[32]; int main() { register int i; int s; for (i = 0; i < 32; i = \
+     i + 1) { a[i] = i * i; } s = 0; for (i = 0; i < 32; i = i + 1) { s = s \
+     + a[i]; } return s % 251; }";
+    "struct node { int v; struct node *next; }; int main() { struct node *h; \
+     struct node *n; int i; int s; h = 0; for (i = 1; i <= 8; i = i + 1) { n \
+     = malloc(8); n->v = i; n->next = h; h = n; } s = 0; n = h; while (n != \
+     0) { s = s + n->v; n = n->next; } return s; }";
+    "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - \
+     2); } int main() { return fib(12); }";
+  ]
+
+let all_option_sets =
+  List.concat_map
+    (fun strategy ->
+      [ options ~strategy (); options ~strategy ~opt:Instrument.O_symbol () ])
+    (Strategy.all @ [ Strategy.Hash_table ])
+  @ [
+      options ~opt:Instrument.O_full ();
+      options ~strategy:Strategy.Cache ~opt:Instrument.O_full ();
+      options ~opt:Instrument.O_full ~check_aliases:true ();
+    ]
+
+(* Instrumentation must never change program behaviour. *)
+let test_semantics_preserved () =
+  List.iter
+    (fun src ->
+      let expect_code, expect_out = run_plain src in
+      List.iter
+        (fun o ->
+          let _, _, _, code, out = run_session ~options:o src in
+          check_int ("exit: " ^ Strategy.to_string o.Instrument.strategy) expect_code code;
+          Alcotest.(check string) "output" expect_out out)
+        all_option_sets)
+    semantics_programs
+
+(* And with monitoring armed on a heavily-written global, behaviour is
+   still unchanged and every write is caught. *)
+let watched_src =
+  "int g; int main() { int i; for (i = 0; i < 25; i = i + 1) { g = g + 2; } \
+   return g; }"
+
+let test_hits_all_strategies () =
+  List.iter
+    (fun o ->
+      let session, _, _, code, _ =
+        run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "g") watched_src
+      in
+      check_int ("exit " ^ Strategy.to_string o.Instrument.strategy) 50 code;
+      let c = Mrs.counters session.Session.mrs in
+      check_int
+        ("hits with " ^ Strategy.to_string o.Instrument.strategy
+        ^ (match o.Instrument.opt with
+          | Instrument.O0 -> "/O0"
+          | Instrument.O_symbol -> "/sym"
+          | Instrument.O_full -> "/full"))
+        25 c.Mrs.user_hits;
+      check_int "oracle: no missed hits" 0 (Session.missed_hits session))
+    all_option_sets
+
+let test_disabled_no_hits () =
+  (* Region exists but MRS disabled: no hits, and the disabled-flag
+     guard keeps overhead small. *)
+  let o = options () in
+  let session = Session.create ~options:o watched_src in
+  let dbg = Debugger.create session in
+  let w = Debugger.watch dbg "g" in
+  Mrs.disable session.Session.mrs;
+  ignore w;
+  let code, _ = Session.run session in
+  check_int "exit" 50 code;
+  check_int "no hits while disabled" 0 (Mrs.counters session.Session.mrs).Mrs.user_hits
+
+let test_alias_writes_detected () =
+  (* Writes through a pointer alias must be caught even with symbol
+     optimization (the matched-store rewrite must not hide them). *)
+  let src =
+    "int g; int h; int main() { int *p; p = &g; *p = 7; p = &h; *p = 9; \
+     return g + h; }"
+  in
+  List.iter
+    (fun o ->
+      let session, _, _, code, _ =
+        run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "g") src
+      in
+      check_int "exit" 16 code;
+      check_int "alias write caught" 1
+        (Mrs.counters session.Session.mrs).Mrs.user_hits)
+    [ options (); options ~opt:Instrument.O_symbol (); options ~opt:Instrument.O_full () ]
+
+let test_symbol_elimination_and_premonitor () =
+  let o = options ~opt:Instrument.O_symbol () in
+  let session = Session.create ~options:o watched_src in
+  let plan = session.Session.plan in
+  (* The loop writes to g and i are matched. *)
+  check_bool "some sites eliminated" true
+    (List.exists
+       (fun (s : Instrument.site) ->
+         match s.status with Instrument.Sym_eliminated _ -> true | _ -> false)
+       plan.Instrument.sites);
+  check_bool "g has a patch list" true
+    (List.mem_assoc "g" plan.Instrument.sites_by_pseudo);
+  (* Without PreMonitor, matched writes are invisible (by design): *)
+  let session2 = Session.create ~options:o watched_src in
+  let mrs2 = session2.Session.mrs in
+  (match Sparc.Symtab.lookup session2.Session.symtab "g" with
+  | Some { Sparc.Symtab.location = Sparc.Symtab.Absolute a; _ } ->
+    Mrs.create_region mrs2 (Region.v ~addr:a ~size_bytes:4 ());
+    Mrs.enable mrs2
+  | _ -> Alcotest.fail "no symbol g");
+  ignore (Session.run session2);
+  check_int "region alone misses matched writes" 0
+    (Mrs.counters mrs2).Mrs.user_hits;
+  (* With the full debugger interface (region + PreMonitor): *)
+  let session3, _, _, _, _ =
+    run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "g") watched_src
+  in
+  check_int "premonitor restores detection" 25
+    (Mrs.counters session3.Session.mrs).Mrs.user_hits
+
+let test_loop_elimination_and_reinsertion () =
+  let src =
+    "int a[40]; int main() { register int i; for (i = 0; i < 40; i = i + 1) \
+     { a[i] = i; } return a[13]; }"
+  in
+  let o = options ~opt:Instrument.O_full () in
+  let session = Session.create ~options:o src in
+  let plan = session.Session.plan in
+  check_bool "loop-eliminated site exists" true
+    (List.exists
+       (fun (s : Instrument.site) ->
+         match s.status with Instrument.Loop_eliminated _ -> true | _ -> false)
+       plan.Instrument.sites);
+  (* Watching the array: the pre-header range check must trigger and
+     re-insert the eliminated check, catching all 40 writes. *)
+  let session2, _, _, code, _ =
+    run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "a") src
+  in
+  check_int "exit" 13 code;
+  let c = Mrs.counters session2.Session.mrs in
+  check_int "all elements caught" 40 c.Mrs.user_hits;
+  check_bool "range check triggered" true (c.Mrs.loop_triggers > 0);
+  check_bool "patch inserted" true (c.Mrs.patches_inserted > 0);
+  check_int "oracle" 0 (Session.missed_hits session2)
+
+let test_loop_not_triggered_when_unwatched () =
+  let src =
+    "int a[40]; int b; int main() { register int i; for (i = 0; i < 40; i = \
+     i + 1) { a[i] = i; } b = 1; return b; }"
+  in
+  let o = options ~opt:Instrument.O_full () in
+  (* Watch only b: the range check runs but never triggers. *)
+  let session, _, _, _, _ =
+    run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "b") src
+  in
+  let c = Mrs.counters session.Session.mrs in
+  check_int "b caught" 1 c.Mrs.user_hits;
+  check_bool "loop entry checked" true (c.Mrs.loop_entries > 0);
+  check_int "never triggered" 0 c.Mrs.loop_triggers;
+  check_int "oracle" 0 (Session.missed_hits session)
+
+let test_cache_invalidation () =
+  (* With segment caches, a region created mid-run (from a hit callback)
+     must invalidate the caches so later hits are seen. *)
+  let src =
+    "int g; int h; int main() { int i; for (i = 0; i < 10; i = i + 1) { g = \
+     i; } for (i = 0; i < 10; i = i + 1) { h = i; } return 0; }"
+  in
+  let o = options ~strategy:Strategy.Cache_inline () in
+  let session = Session.create ~options:o src in
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg "g");
+  let armed_h = ref false in
+  Debugger.set_on_event dbg (fun _ ->
+      if not !armed_h then begin
+        armed_h := true;
+        ignore (Debugger.watch dbg "h")
+      end);
+  ignore (Session.run session);
+  let c = Mrs.counters session.Session.mrs in
+  check_int "hits on both" 20 c.Mrs.user_hits
+
+let test_check_in_progress_flag () =
+  (* The %g7 flag must be clear again after every call-based check. *)
+  let o = options ~strategy:Strategy.Bitmap () in
+  let session, _, _, _, _ =
+    run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "g") watched_src
+  in
+  check_int "g7 clear at exit" 0 (Machine.Cpu.get session.Session.cpu (Sparc.Reg.g 7))
+
+let test_fault_isolation () =
+  let src =
+    "int shared; int good() { shared = 1; return 0; } int evil() { shared = \
+     2; return 0; } int main() { good(); evil(); return shared; }"
+  in
+  (* Hit attribution must name the right function under both inline and
+     call-based checks (the latter resolve the site through %i7). *)
+  List.iter
+    (fun strategy ->
+      let session = Session.create ~options:(options ~strategy ()) src in
+      let dbg = Debugger.create session in
+      let w = Debugger.watch dbg "shared" in
+      Debugger.restrict_writers dbg w ~writers:[ "good" ];
+      ignore (Session.run session);
+      match Debugger.violations dbg with
+      | [ (_, Some f) ] ->
+        Alcotest.(check string)
+          ("culprit under " ^ Strategy.to_string strategy)
+          "evil" f
+      | _ -> Alcotest.failf "bad violations under %s" (Strategy.to_string strategy))
+    [ Strategy.Bitmap; Strategy.Cache; Strategy.Hash_table ];
+  let session = Session.create ~options:(options ()) src in
+  let dbg = Debugger.create session in
+  let w = Debugger.watch dbg "shared" in
+  Debugger.restrict_writers dbg w ~writers:[ "good" ];
+  let code, _ = Session.run session in
+  check_int "exit" 2 code;
+  check_int "two writes seen" 2 (List.length (Debugger.events dbg));
+  (match Debugger.violations dbg with
+  | [ (name, Some f) ] ->
+    Alcotest.(check string) "watch name" "shared" name;
+    Alcotest.(check string) "culprit" "evil" f
+  | _ -> Alcotest.fail "expected exactly one violation from evil")
+
+let test_watch_struct_field () =
+  let src =
+    "struct s { int a; int f; int b; }; struct s x; int main() { x.a = 1; \
+     x.f = 2; x.b = 3; x.f = 4; return x.f; }"
+  in
+  let session, dbg, _, code, _ =
+    run_session ~options:(options ())
+      ~watch:(fun dbg -> Debugger.watch_field dbg "x" "f")
+      src
+  in
+  check_int "exit" 4 code;
+  check_int "only f's writes hit" 2 (Mrs.counters session.Session.mrs).Mrs.user_hits;
+  ignore dbg
+
+let test_watch_heap_object () =
+  let src =
+    "int *leak_ptr; int main() { int *p; int i; p = malloc(32); leak_ptr = \
+     p; for (i = 0; i < 8; i = i + 1) { p[i] = i; } return p[5]; }"
+  in
+  (* Arm the watch from the first hit on leak_ptr (the debugger learns
+     the heap address at runtime, as a real session would). *)
+  let session = Session.create ~options:(options ()) src in
+  Session.install_oracle session;
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg "leak_ptr");
+  let armed = ref false in
+  Debugger.set_on_event dbg (fun e ->
+      if (not !armed) && e.Debugger.watch.Debugger.wname = "leak_ptr" then begin
+        armed := true;
+        let addr =
+          Machine.Memory.read_word (Machine.Cpu.mem session.Session.cpu) e.Debugger.addr
+        in
+        ignore (Debugger.watch_addr dbg ~name:"heap" ~addr ~size_bytes:32 ())
+      end);
+  let code, _ = Session.run session in
+  check_int "exit" 5 code;
+  let events = Debugger.events dbg in
+  let heap_hits =
+    List.length
+      (List.filter (fun e -> e.Debugger.watch.Debugger.wname = "heap") events)
+  in
+  check_int "heap writes caught" 8 heap_hits
+
+let test_read_monitoring () =
+  let src =
+    "int g; int main() { int i; int s; g = 5; s = 0; for (i = 0; i < 10; i =      i + 1) { s = s + g; } g = s; return s; }"
+  in
+  (* With read monitoring: 2 writes + 10 reads of g hit. *)
+  List.iter
+    (fun strategy ->
+      let o =
+        { (options ~strategy ()) with Instrument.monitor_reads = true }
+      in
+      let session, _, _, code, _ =
+        run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "g") src
+      in
+      check_int "exit" 50 code;
+      let c = Mrs.counters session.Session.mrs in
+      check_int
+        ("hits w+r under " ^ Strategy.to_string strategy)
+        12 c.Mrs.user_hits;
+      check_int ("read hits under " ^ Strategy.to_string strategy) 10 c.Mrs.read_hits;
+      check_int ("read oracle under " ^ Strategy.to_string strategy) 0
+        (Session.missed_hits session))
+    [ Strategy.Bitmap; Strategy.Bitmap_inline; Strategy.Bitmap_inline_registers;
+      Strategy.Cache; Strategy.Cache_inline; Strategy.Hash_table ];
+  (* Without: only the 2 writes. *)
+  let session, _, _, _, _ =
+    run_session ~options:(options ()) ~watch:(fun dbg -> Debugger.watch dbg "g") src
+  in
+  check_int "write-only hits" 2 (Mrs.counters session.Session.mrs).Mrs.user_hits;
+  check_int "no read hits" 0 (Mrs.counters session.Session.mrs).Mrs.read_hits
+
+let test_read_monitoring_semantics () =
+  (* Read checks must not perturb results, including through pointer
+     chains and scratch-register-sensitive address patterns. *)
+  List.iter
+    (fun src ->
+      let expect, _ = run_plain src in
+      List.iter
+        (fun strategy ->
+          let o = { (options ~strategy ()) with Instrument.monitor_reads = true } in
+          let _, _, _, code, _ = run_session ~options:o src in
+          check_int ("read-mon " ^ Strategy.to_string strategy) expect code)
+        [ Strategy.Bitmap_inline_registers; Strategy.Cache_inline; Strategy.Bitmap ])
+    semantics_programs
+
+let test_nop_padding () =
+  let o = { (options ()) with Instrument.nop_padding = 4 } in
+  let _, _, _, code, _ = run_session ~options:o watched_src in
+  check_int "padded run works" 50 code
+
+let test_oracle_detects_sabotage () =
+  (* Failure injection: silently clear the variable's bit in the
+     in-memory bitmap after arming the watch.  Checks then miss, and
+     the oracle MUST report the misses — proving the soundness tests
+     are not vacuous. *)
+  let session = Session.create ~options:(options ()) watched_src in
+  Session.install_oracle session;
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg "g");
+  (match Sparc.Symtab.lookup session.Session.symtab "g" with
+  | Some { Sparc.Symtab.location = Sparc.Symtab.Absolute a; _ } ->
+    let layout = session.Session.plan.Instrument.options.Instrument.layout in
+    let mem = Machine.Cpu.mem session.Session.cpu in
+    let entry_addr = Layout.table_entry_addr layout a in
+    let entry =
+      Sparc.Word.to_unsigned (Machine.Memory.read_word mem entry_addr)
+    in
+    let segptr = entry land lnot 1 in
+    let widx = Layout.word_in_segment layout a in
+    let word_addr = segptr + (4 * (widx lsr 5)) in
+    let w = Sparc.Word.to_unsigned (Machine.Memory.read_word mem word_addr) in
+    Machine.Memory.write_word mem word_addr (w land lnot (1 lsl (widx land 31)))
+  | _ -> Alcotest.fail "no g");
+  ignore (Session.run session);
+  check_int "no hits after sabotage" 0
+    (Mrs.counters session.Session.mrs).Mrs.user_hits;
+  check_bool "oracle reports the misses" true (Session.missed_hits session > 0)
+
+let test_checkpoint_replay () =
+  (* §5: checkpoint at a hit, run to completion, roll back, replay —
+     the second run must reproduce the first exactly. *)
+  let src =
+    "int g; int trace; int main() { int i; for (i = 0; i < 12; i = i + 1) {      g = g * 3 + i; trace = trace ^ g; } return trace & 65535; }"
+  in
+  let session = Session.create ~options:(options ()) src in
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg "g");
+  let cp = ref None in
+  Debugger.set_on_event dbg (fun _ ->
+      if !cp = None then cp := Some (Machine.Cpu.checkpoint session.Session.cpu));
+  let code1, out1 = Session.run session in
+  let hits1 = (Mrs.counters session.Session.mrs).Mrs.user_hits in
+  (match !cp with
+  | None -> Alcotest.fail "no checkpoint taken"
+  | Some cp ->
+    Machine.Cpu.rollback session.Session.cpu cp;
+    let code2, out2 = Session.run session in
+    check_int "replayed exit" code1 code2;
+    Alcotest.(check string) "replayed output" out1 out2;
+    (* The replay sees the post-checkpoint hits again. *)
+    check_int "replayed hits" (2 * hits1 - 1)
+      (Mrs.counters session.Session.mrs).Mrs.user_hits)
+
+let test_trap_check_strategy () =
+  let session, _, _, code, _ =
+    run_session
+      ~options:(options ~strategy:Strategy.Trap_check ())
+      ~watch:(fun dbg -> Debugger.watch dbg "g")
+      watched_src
+  in
+  check_int "exit" 50 code;
+  check_int "hits via traps" 25 (Mrs.counters session.Session.mrs).Mrs.user_hits;
+  check_int "oracle" 0 (Session.missed_hits session)
+
+let test_hardware_watch_strategy () =
+  (* Detection works and costs nothing, but capacity is 4 words. *)
+  let o = options ~strategy:(Strategy.Hardware_watch 4) () in
+  let session, _, _, code, _ =
+    run_session ~options:o ~watch:(fun dbg -> Debugger.watch dbg "g") watched_src
+  in
+  check_int "exit" 50 code;
+  check_int "hits" 25 (Mrs.counters session.Session.mrs).Mrs.user_hits;
+  (* Zero overhead: no checks were inserted at all. *)
+  let plain_instrs =
+    let s2 = Session.create ~options:(options ~strategy:Strategy.Nocheck ()) watched_src in
+    ignore (Session.run s2);
+    (Session.stats s2).Machine.Cpu.instrs
+  in
+  check_int "no extra instructions" plain_instrs (Session.stats session).Machine.Cpu.instrs;
+  (* Watching a 64-word array exceeds the registers. *)
+  let src = "int big[64]; int main() { big[0] = 1; return big[0]; }" in
+  let session2 = Session.create ~options:o src in
+  let dbg2 = Debugger.create session2 in
+  (try
+     ignore (Debugger.watch dbg2 "big");
+     Alcotest.fail "expected capacity failure"
+   with Mrs.Hardware_capacity 4 -> ())
+
+let test_overhead_independent_of_breakpoints () =
+  (* The abstract's claim: checking overhead is independent of the
+     number of breakpoints in use.  Cycles with 0 vs 16 armed regions
+     (none of them hit) must agree almost exactly. *)
+  let src =
+    "int g; int main() { int i; for (i = 0; i < 2000; i = i      + 1) { g = g + i; } return g & 255; }"
+  in
+  (* Regions in address space the program never touches (a different
+     bitmap segment): per-check cost must not depend on how many there
+     are.  (Regions sharing a segment with hot data do cost more — the
+     full-lookup effect the break-even analysis of §3.3.3 quantifies.) *)
+  let cycles nregions =
+    let session = Session.create ~options:(options ()) src in
+    for k = 0 to nregions - 1 do
+      Mrs.create_region session.Session.mrs
+        (Region.v ~addr:(0x5000_0000 + (1024 * k)) ~size_bytes:4 ())
+    done;
+    Mrs.enable session.Session.mrs;
+    ignore (Session.run session);
+    (Session.stats session).Machine.Cpu.cycles
+  in
+  let c0 = cycles 0 and c16 = cycles 16 in
+  let drift = abs (c16 - c0) in
+  check_bool
+    (Printf.sprintf "cycles drift %d of %d" drift c0)
+    true
+    (float_of_int drift < 0.02 *. float_of_int c0)
+
+let test_mrs_self_protection () =
+  (* A wild pointer smashing the MRS shadow stack is caught as an
+     internal hit (§2.1), without disturbing the program. *)
+  let src =
+    {|int main() { int *p; p = 0xB0000000; *p = 7; return 5; }|}
+  in
+  let session = Session.create ~options:(options ()) ~protect_mrs:true src in
+  Mrs.enable session.Session.mrs;
+  let code, _ = Session.run session in
+  check_int "exit" 5 code;
+  check_bool "corruption detected" true
+    ((Mrs.counters session.Session.mrs).Mrs.internal_hits > 0);
+  (* Without self-protection it goes unnoticed. *)
+  let session2 = Session.create ~options:(options ()) src in
+  Mrs.enable session2.Session.mrs;
+  ignore (Session.run session2);
+  check_int "undetected without protection" 0
+    (Mrs.counters session2.Session.mrs).Mrs.internal_hits
+
+let test_conditional_watch () =
+  (* "stop when g > 100": only the qualifying writes produce events. *)
+  let src =
+    "int g; int main() { int i; for (i = 0; i < 10; i = i + 1) { g = i * 30;      } return g; }"
+  in
+  let session = Session.create ~options:(options ()) src in
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg ~condition:(fun v -> v > 100) "g");
+  let code, _ = Session.run session in
+  check_int "exit" 270 code;
+  (* writes: 0,30,...,270; > 100 are 120..270 = 6 events *)
+  check_int "conditional events" 6 (List.length (Debugger.events dbg));
+  (* values visible in events (checks run after the store) *)
+  check_bool "values recorded" true
+    (List.for_all (fun (e : Debugger.event) -> e.Debugger.value > 100)
+       (Debugger.events dbg))
+
+let test_control_breakpoints () =
+  let src =
+    "int f(int x) { return x * 2; } int main() { int i; int s; s = 0; for (i      = 0; i < 5; i = i + 1) { s = s + f(i); } return s; }"
+  in
+  let session = Session.create ~options:(options ()) src in
+  let dbg = Debugger.create session in
+  let args = ref [] in
+  Debugger.break_at dbg "f" (fun _ cpu ->
+      args := Machine.Cpu.get cpu (Sparc.Reg.o 0) :: !args);
+  let code, _ = Session.run session in
+  check_int "exit" 20 code;
+  check_int "break count" 5 (Debugger.break_count dbg "f");
+  check_bool "arguments observed" true (List.rev !args = [ 0; 1; 2; 3; 4 ])
+
+let test_watch_local_from_breakpoint () =
+  (* Arm a watch on a local of a specific frame from a control
+     breakpoint — the classic combined use the paper motivates. *)
+  let src =
+    "int f(int x) { int acc; int i; acc = x; for (i = 0; i < 3; i = i + 1) {      acc = acc + i; } return acc; } int main() { return f(10) + f(20); }"
+  in
+  let session = Session.create ~options:(options ()) src in
+  let dbg = Debugger.create session in
+  let armed = ref false in
+  let wp = ref None in
+  Debugger.break_at dbg "f" (fun (e : Debugger.breakpoint_event) cpu ->
+      if e.Debugger.count = 2 && not !armed then begin
+        armed := true;
+        (* At function entry the frame is not yet pushed; %sp will
+           become %fp after the save, so compute the callee fp = current
+           %sp. *)
+        let fp = Machine.Cpu.get cpu Sparc.Reg.sp in
+        wp := Some (Debugger.watch_local dbg ~func:"f" ~var:"acc" ~fp ())
+      end);
+  let code, _ = Session.run session in
+  check_int "exit" (13 + 23) code;
+  (* Only the second call's acc updates are seen: acc = x, then 3
+     increments = 4 writes. *)
+  check_int "second-frame writes only" 4 (List.length (Debugger.events dbg));
+  check_bool "final value seen" true
+    (List.exists (fun (e : Debugger.event) -> e.Debugger.value = 23)
+       (Debugger.events dbg))
+
+let suites =
+  [
+    ( "dbp.region",
+      [
+        Alcotest.test_case "basics" `Quick test_region_basics;
+        Alcotest.test_case "sets" `Quick test_region_set;
+      ] );
+    ( "dbp.segbitmap",
+      [
+        Alcotest.test_case "basic" `Quick test_segbitmap_basic;
+        Alcotest.test_case "byte addresses" `Quick test_segbitmap_byte_addresses;
+        Alcotest.test_case "cross segment" `Quick test_segbitmap_cross_segment;
+        QCheck_alcotest.to_alcotest prop_segbitmap_matches_model;
+      ] );
+    ("dbp.write_type", [ Alcotest.test_case "classification" `Quick test_write_types ]);
+    ( "dbp.end_to_end",
+      [
+        Alcotest.test_case "semantics preserved" `Slow test_semantics_preserved;
+        Alcotest.test_case "hits, all strategies" `Quick test_hits_all_strategies;
+        Alcotest.test_case "disabled flag" `Quick test_disabled_no_hits;
+        Alcotest.test_case "alias writes detected" `Quick test_alias_writes_detected;
+        Alcotest.test_case "nop padding" `Quick test_nop_padding;
+        Alcotest.test_case "read monitoring hits" `Quick test_read_monitoring;
+        Alcotest.test_case "read monitoring semantics" `Slow
+          test_read_monitoring_semantics;
+      ] );
+    ( "dbp.optimizations",
+      [
+        Alcotest.test_case "symbol elimination + PreMonitor" `Quick
+          test_symbol_elimination_and_premonitor;
+        Alcotest.test_case "loop elimination + reinsertion" `Quick
+          test_loop_elimination_and_reinsertion;
+        Alcotest.test_case "range check no trigger" `Quick
+          test_loop_not_triggered_when_unwatched;
+        Alcotest.test_case "segment cache invalidation" `Quick test_cache_invalidation;
+        Alcotest.test_case "check-in-progress flag" `Quick test_check_in_progress_flag;
+      ] );
+    ( "dbp.debugger",
+      [
+        Alcotest.test_case "fault isolation" `Quick test_fault_isolation;
+        Alcotest.test_case "watch struct field" `Quick test_watch_struct_field;
+        Alcotest.test_case "watch heap object" `Quick test_watch_heap_object;
+        Alcotest.test_case "oracle detects sabotage" `Quick test_oracle_detects_sabotage;
+        Alcotest.test_case "checkpoint and replay" `Quick test_checkpoint_replay;
+        Alcotest.test_case "trap-check strategy" `Quick test_trap_check_strategy;
+        Alcotest.test_case "hardware watch strategy" `Quick test_hardware_watch_strategy;
+        Alcotest.test_case "overhead independent of breakpoints" `Quick
+          test_overhead_independent_of_breakpoints;
+        Alcotest.test_case "MRS self-protection" `Quick test_mrs_self_protection;
+        Alcotest.test_case "conditional watchpoints" `Quick test_conditional_watch;
+        Alcotest.test_case "control breakpoints" `Quick test_control_breakpoints;
+        Alcotest.test_case "watch local from breakpoint" `Quick
+          test_watch_local_from_breakpoint;
+      ] );
+  ]

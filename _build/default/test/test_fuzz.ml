@@ -1,0 +1,152 @@
+(* Randomized end-to-end property: for arbitrary (terminating) mini-C
+   programs, instrumentation under every strategy/optimization level
+   must preserve behaviour exactly, and with a region armed the oracle
+   must see no missed hits.
+
+   The generator builds structured programs from a fixed variable pool:
+   bounded [for] loops only, no recursion, indices masked into range —
+   so every generated program terminates and never faults. *)
+
+open Dbp
+
+type genv = { loop_vars : string list; depth : int }
+
+let scalars = [ "g0"; "g1"; "a"; "b"; "c" ]
+
+let rec gen_expr env fuel st =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map string_of_int (int_range (-20) 20);
+        oneofl (scalars @ env.loop_vars);
+        (if env.loop_vars = [] then oneofl scalars else oneofl env.loop_vars);
+      ]
+  in
+  if fuel = 0 then atom st
+  else
+    (frequency
+       [
+         (2, atom);
+         ( 3,
+           let* op = oneofl [ "+"; "-"; "*"; "&"; "|"; "^" ] in
+           let* l = gen_expr env (fuel - 1) in
+           let* r = gen_expr env (fuel - 1) in
+           return (Printf.sprintf "(%s %s %s)" l op r) );
+         ( 1,
+           (* safe division: divisor forced non-zero *)
+           let* l = gen_expr env (fuel - 1) in
+           let* r = gen_expr env (fuel - 1) in
+           return (Printf.sprintf "(%s / ((%s & 7) + 1))" l r) );
+         ( 1,
+           let* op = oneofl [ "<"; "<="; "=="; "!=" ] in
+           let* l = gen_expr env (fuel - 1) in
+           let* r = gen_expr env (fuel - 1) in
+           return (Printf.sprintf "(%s %s %s)" l op r) );
+         ( 1,
+           let* idx = gen_expr env (fuel - 1) in
+           return (Printf.sprintf "ga[(%s) & 15]" idx) );
+       ])
+      st
+
+let gen_lvalue env st =
+  let open QCheck.Gen in
+  (oneof
+     [
+       oneofl (List.filter (fun v -> not (List.mem v env.loop_vars)) scalars);
+       (let* idx = gen_expr env 1 in
+        return (Printf.sprintf "ga[(%s) & 15]" idx));
+     ])
+    st
+
+let rec gen_stmt env st =
+  let open QCheck.Gen in
+  (frequency
+     [
+       ( 4,
+         let* lv = gen_lvalue env in
+         let* e = gen_expr env 2 in
+         return (Printf.sprintf "%s = %s;" lv e) );
+       ( 1,
+         let* e = gen_expr env 2 in
+         return (Printf.sprintf "c = helper(%s, b);" e) );
+       ( (if env.depth > 0 then 2 else 0),
+         let* cond = gen_expr env 1 in
+         let* then_ = gen_block { env with depth = env.depth - 1 } in
+         let* else_ = gen_block { env with depth = env.depth - 1 } in
+         return (Printf.sprintf "if (%s) { %s } else { %s }" cond then_ else_) );
+       ( (if env.depth > 0 && List.length env.loop_vars < 3 then 2 else 0),
+         let v = Printf.sprintf "i%d" (List.length env.loop_vars) in
+         let* n = int_range 1 6 in
+         let* body =
+           gen_block { loop_vars = v :: env.loop_vars; depth = env.depth - 1 }
+         in
+         return
+           (Printf.sprintf "for (%s = 0; %s < %d; %s = %s + 1) { %s }" v v n v v
+              body) );
+     ])
+    st
+
+and gen_block env st =
+  let open QCheck.Gen in
+  (let* n = int_range 1 3 in
+   let* stmts = list_repeat n (gen_stmt env) in
+   return (String.concat " " stmts))
+    st
+
+let gen_program st =
+  let open QCheck.Gen in
+  (let* helper_body = gen_expr { loop_vars = []; depth = 0 } 2 in
+   let* body = gen_block { loop_vars = []; depth = 2 } in
+   return
+     (Printf.sprintf
+        {|
+int g0;
+int g1;
+int ga[16];
+int helper(int a, int b) {
+  int c;
+  c = %s;
+  return c;
+}
+int main() {
+  int a; int b; int c;
+  int i0; int i1; int i2;
+  a = 3; b = 5; c = 7;
+  %s
+  return (g0 ^ g1 ^ a ^ b ^ c ^ ga[3]) & 65535;
+}
+|}
+        helper_body body))
+    st
+
+let arb_program = QCheck.make ~print:(fun s -> s) gen_program
+
+let configurations =
+  [
+    { Instrument.default_options with strategy = Strategy.Bitmap_inline_registers };
+    { Instrument.default_options with strategy = Strategy.Cache_inline };
+    { Instrument.default_options with strategy = Strategy.Bitmap;
+      opt = Instrument.O_symbol };
+    { Instrument.default_options with opt = Instrument.O_full };
+    { Instrument.default_options with monitor_reads = true };
+    { Instrument.default_options with strategy = Strategy.Cache;
+      single_cache = true; disabled_guard = false };
+  ]
+
+let prop_semantics_and_soundness =
+  QCheck.Test.make ~name:"random programs: instrumentation preserves semantics, oracle sound"
+    ~count:40 arb_program (fun src ->
+      let expect, _ = Minic.Compile.run ~fuel:5_000_000 src in
+      List.for_all
+        (fun options ->
+          let session = Session.create ~options src in
+          Session.install_oracle session;
+          let dbg = Debugger.create session in
+          ignore (Debugger.watch dbg "g0");
+          ignore (Debugger.watch dbg "ga");
+          let code, _ = Session.run ~fuel:20_000_000 session in
+          code = expect && Session.missed_hits session = 0)
+        configurations)
+
+let suites = [ ("dbp.fuzz", [ QCheck_alcotest.to_alcotest prop_semantics_and_soundness ]) ]

@@ -1,0 +1,394 @@
+open Sparc
+open Machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Memory -------------------------------------------------------------- *)
+
+let test_memory_words () =
+  let m = Memory.create () in
+  check_int "uninitialized" 0 (Memory.read_word m 0x1000);
+  Memory.write_word m 0x1000 0xDEADBEEF;
+  check_int "read back" (Word.norm 0xDEADBEEF) (Memory.read_word m 0x1000);
+  Memory.write_word m 0xFFFF_FFFC (-1);
+  check_int "top of memory" (-1) (Memory.read_word m 0xFFFF_FFFC);
+  Alcotest.check_raises "misaligned"
+    (Memory.Misaligned { addr = 0x1002; width = 4 })
+    (fun () -> ignore (Memory.read_word m 0x1002))
+
+let test_memory_bytes () =
+  let m = Memory.create () in
+  Memory.write_word m 0x2000 0x11223344;
+  (* Big-endian: byte 0 is the most significant. *)
+  check_int "byte 0" 0x11 (Memory.read_byte m 0x2000);
+  check_int "byte 3" 0x44 (Memory.read_byte m 0x2003);
+  Memory.write_byte m 0x2001 0xAB;
+  check_int "after byte write" (Word.norm 0x11AB3344) (Memory.read_word m 0x2000);
+  check_int "half 0" 0x11AB (Memory.read_half m 0x2000);
+  Memory.write_half m 0x2002 0xCDEF;
+  check_int "after half write" (Word.norm 0x11ABCDEF) (Memory.read_word m 0x2000)
+
+let test_memory_page_offsets () =
+  (* Regression: addresses 1 KiB apart within the same 4 KiB page must
+     not alias (a precedence bug in the page-offset mask once made
+     0x4003F0 and 0x4007F0 share a cell). *)
+  let m = Memory.create () in
+  List.iter
+    (fun (a, v) -> Memory.write_word m a v)
+    [ (0x4003F0, 1); (0x4007F0, 2); (0x400BF0, 3); (0x400FF0, 4) ];
+  check_int "1k apart" 1 (Memory.read_word m 0x4003F0);
+  check_int "2k apart" 2 (Memory.read_word m 0x4007F0);
+  check_int "3k apart" 3 (Memory.read_word m 0x400BF0);
+  check_int "4k apart" 4 (Memory.read_word m 0x400FF0);
+  (* Dense fill of a whole page round-trips. *)
+  for i = 0 to 1023 do
+    Memory.write_word m (0x80_0000 + (4 * i)) (i * 7)
+  done;
+  let ok = ref true in
+  for i = 0 to 1023 do
+    if Memory.read_word m (0x80_0000 + (4 * i)) <> i * 7 then ok := false
+  done;
+  check_bool "page fill round trip" true !ok
+
+let test_memory_signed () =
+  let m = Memory.create () in
+  Memory.write_byte m 0x3000 0xFF;
+  check_int "signed byte" (-1) (Memory.read_signed m 0x3000 Insn.Byte);
+  check_int "unsigned byte" 0xFF (Memory.read_unsigned m 0x3000 Insn.Byte);
+  Memory.write_half m 0x3002 0x8000;
+  check_int "signed half" (-32768) (Memory.read_signed m 0x3002 Insn.Half);
+  check_int "unsigned half" 0x8000 (Memory.read_unsigned m 0x3002 Insn.Half)
+
+(* --- Cache --------------------------------------------------------------- *)
+
+let test_cache_basic () =
+  let c = Cache.create ~size_bytes:1024 ~line_bytes:32 () in
+  check_bool "cold miss" false (Cache.access c 0x1000);
+  check_bool "hit same line" true (Cache.access c 0x101C);
+  check_bool "miss next line" false (Cache.access c 0x1020);
+  (* Direct-mapped conflict: 0x1000 and 0x1000+1024 map to the same line. *)
+  check_bool "conflict evicts" false (Cache.access c 0x1400);
+  check_bool "original now misses" false (Cache.access c 0x1000);
+  check_int "hits" 1 (Cache.hits c);
+  check_int "misses" 4 (Cache.misses c)
+
+let test_cache_flush () =
+  let c = Cache.create ~size_bytes:1024 ~line_bytes:32 () in
+  ignore (Cache.access c 0x1000);
+  Cache.flush c;
+  check_bool "miss after flush" false (Cache.access c 0x1000);
+  check_int "counters reset" 1 (Cache.misses c)
+
+(* --- Windows -------------------------------------------------------------- *)
+
+let test_windows_overlap () =
+  let w = Windows.create () in
+  Windows.set w (Reg.o 0) 42;
+  Windows.save w;
+  check_int "out becomes in" 42 (Windows.get w (Reg.i_ 0));
+  Windows.set w (Reg.i_ 0) 43;
+  Windows.restore w;
+  check_int "in writes propagate back" 43 (Windows.get w (Reg.o 0))
+
+let test_windows_g0 () =
+  let w = Windows.create () in
+  Windows.set w Reg.g0 99;
+  check_int "g0 reads zero" 0 (Windows.get w Reg.g0)
+
+let test_windows_oscillation () =
+  (* Oscillating save/restore at a fixed depth beyond the window count
+     must spill only on the first crossing, as on real hardware. *)
+  let w = Windows.create ~nwindows:4 () in
+  for _ = 1 to 6 do Windows.save w done;
+  (* depth 1 -> 7 with 4 windows: saves past the 3rd spill. *)
+  let spills_after_dive = Windows.spills w in
+  check_int "three spills on the dive" 3 spills_after_dive;
+  for _ = 1 to 20 do
+    Windows.restore w;
+    Windows.save w
+  done;
+  check_int "oscillation adds no spills" spills_after_dive (Windows.spills w);
+  check_int "nor fills" 0 (Windows.fills w);
+  (* Returning all the way up fills the spilled windows back. *)
+  for _ = 1 to 5 do Windows.restore w done;
+  check_int "fills on the climb" 2 (Windows.fills w)
+
+let test_windows_spill () =
+  let w = Windows.create ~nwindows:4 () in
+  for _ = 1 to 6 do Windows.save w done;
+  check_bool "spills counted" true (Windows.spills w >= 3);
+  for _ = 1 to 6 do Windows.restore w done;
+  Alcotest.check_raises "underflow" Windows.Underflow (fun () ->
+      Windows.restore w)
+
+(* --- Cpu ------------------------------------------------------------------- *)
+
+let run_program ?config items data =
+  let prog = { Asm.text = Asm.Label "main" :: items; data; entry = "main" } in
+  let image = Assembler.assemble prog in
+  let cpu = Cpu.create ?config image in
+  Cpu.install_basic_services cpu;
+  let code = Cpu.run cpu in
+  (cpu, code, image)
+
+let exit_with reg = [ Asm.Insn (Asm.mov (Insn.Reg reg) (Reg.o 0)); Asm.Insn (Asm.trap 0) ]
+
+let test_cpu_arith () =
+  let items =
+    Asm.insns
+      [
+        Asm.mov (Insn.Imm 6) (Reg.l 0);
+        Asm.mov (Insn.Imm 7) (Reg.l 1);
+        Asm.smul (Reg.l 0) (Insn.Reg (Reg.l 1)) (Reg.l 2);
+      ]
+    @ exit_with (Reg.l 2)
+  in
+  let _, code, _ = run_program items [] in
+  check_int "6*7" 42 code
+
+let test_cpu_memory_and_set () =
+  let items =
+    [
+      Asm.Set_label { label = "x"; offset = 0; rd = Reg.l 0 };
+      Asm.Insn (Asm.ld (Reg.l 0) (Insn.Imm 0) (Reg.l 1));
+      Asm.Insn (Asm.add (Reg.l 1) (Insn.Imm 1) (Reg.l 1));
+      Asm.Insn (Asm.st (Reg.l 1) (Reg.l 0) (Insn.Imm 0));
+      Asm.Insn (Asm.ld (Reg.l 0) (Insn.Imm 0) (Reg.l 2));
+    ]
+    @ exit_with (Reg.l 2)
+  in
+  let _, code, _ = run_program items [ { Asm.name = "x"; size = 4; init = [ 41 ] } ] in
+  check_int "increment global" 42 code
+
+let test_cpu_loop_and_branch () =
+  (* sum 1..10 *)
+  let items =
+    Asm.insns
+      [
+        Asm.mov (Insn.Imm 0) (Reg.l 0);
+        Asm.mov (Insn.Imm 1) (Reg.l 1);
+      ]
+    @ [
+        Asm.Label "loop";
+        Asm.Insn (Asm.add (Reg.l 0) (Insn.Reg (Reg.l 1)) (Reg.l 0));
+        Asm.Insn (Asm.add (Reg.l 1) (Insn.Imm 1) (Reg.l 1));
+        Asm.Insn (Asm.cmp (Reg.l 1) (Insn.Imm 10));
+        Asm.Insn (Asm.branch Cond.Le "loop");
+      ]
+    @ exit_with (Reg.l 0)
+  in
+  let _, code, _ = run_program items [] in
+  check_int "sum 1..10" 55 code
+
+let test_cpu_call_save_restore () =
+  (* main calls double(21) which returns its argument doubled. *)
+  let items =
+    [
+      Asm.Insn (Asm.mov (Insn.Imm 21) (Reg.o 0));
+      Asm.Insn (Asm.call "double");
+      Asm.Insn Asm.nop;
+      Asm.Insn (Asm.trap 0);
+      Asm.Label "double";
+      Asm.Insn (Asm.save 96);
+      Asm.Insn (Asm.add (Reg.i_ 0) (Insn.Reg (Reg.i_ 0)) (Reg.i_ 0));
+      Asm.Insn Asm.ret;
+      Asm.Insn Asm.restore;
+    ]
+  in
+  (* Note: ret jumps to %i7+8, skipping the padding nop after call; the
+     restore after ret is never executed in this ordering (ret;restore
+     is the usual SPARC idiom where restore sits in the delay slot — we
+     instead restore before ret below). *)
+  let items =
+    List.map
+      (fun item ->
+        match item with
+        | Asm.Insn (Insn.Jmpl _) -> item
+        | _ -> item)
+      items
+  in
+  (* Rewrite: use restore before ret to match no-delay-slot semantics. *)
+  let items =
+    [
+      Asm.Insn (Asm.mov (Insn.Imm 21) (Reg.o 0));
+      Asm.Insn (Asm.call "double");
+      Asm.Insn Asm.nop;
+      Asm.Insn (Asm.trap 0);
+      Asm.Label "double";
+      Asm.Insn (Asm.save 96);
+      Asm.Insn (Asm.add (Reg.i_ 0) (Insn.Reg (Reg.i_ 0)) (Reg.o 0));
+      Asm.Insn (Insn.Restore { rs1 = Reg.o 0; op2 = Insn.Imm 0; rd = Reg.o 0 });
+      Asm.Insn Asm.retl;
+    ]
+    |> fun l -> ignore items; l
+  in
+  let _, code, _ = run_program items [] in
+  check_int "double(21)" 42 code
+
+let test_cpu_output () =
+  let items =
+    Asm.insns
+      [
+        Asm.mov (Insn.Imm 123) (Reg.o 0);
+        Asm.trap 1;
+        Asm.mov (Insn.Imm (Char.code '\n')) (Reg.o 0);
+        Asm.trap 2;
+        Asm.mov (Insn.Imm 0) (Reg.o 0);
+        Asm.trap 0;
+      ]
+  in
+  let cpu, code, _ = run_program items [] in
+  check_int "exit 0" 0 code;
+  Alcotest.(check string) "output" "123\n" (Cpu.output cpu)
+
+let test_cpu_sbrk () =
+  let items =
+    Asm.insns
+      [
+        Asm.mov (Insn.Imm 64) (Reg.o 0);
+        Asm.trap 3;
+        Asm.mov (Insn.Reg (Reg.o 0)) (Reg.l 0);
+        Asm.mov (Insn.Imm 64) (Reg.o 0);
+        Asm.trap 3;
+        Asm.sub (Reg.o 0) (Insn.Reg (Reg.l 0)) (Reg.o 0);
+        Asm.trap 0;
+      ]
+  in
+  let _, code, _ = run_program items [] in
+  check_int "sbrk spacing" 64 code
+
+let test_cpu_store_hook () =
+  let stores = ref [] in
+  let items =
+    Asm.insns
+      [
+        Asm.mov (Insn.Imm 7) (Reg.l 0);
+      ]
+    @ [ Asm.Set_label { label = "x"; offset = 0; rd = Reg.l 1 } ]
+    @ Asm.insns
+        [
+          Asm.st (Reg.l 0) (Reg.l 1) (Insn.Imm 0);
+          Asm.st ~width:Insn.Byte (Reg.l 0) (Reg.l 1) (Insn.Imm 5);
+          Asm.mov (Insn.Imm 0) (Reg.o 0);
+          Asm.trap 0;
+        ]
+  in
+  let prog =
+    { Asm.text = Asm.Label "main" :: items;
+      data = [ { Asm.name = "x"; size = 8; init = [] } ];
+      entry = "main" }
+  in
+  let image = Assembler.assemble prog in
+  let cpu = Cpu.create image in
+  Cpu.install_basic_services cpu;
+  Cpu.set_store_hook cpu (fun _ ~addr ~width -> stores := (addr, width) :: !stores);
+  ignore (Cpu.run cpu);
+  let x = Option.get (Assembler.addr_of_label image "x") in
+  check_bool "word store seen" true (List.mem (x, Insn.Word) !stores);
+  check_bool "byte store seen" true (List.mem (x + 5, Insn.Byte) !stores)
+
+let test_cpu_patch () =
+  let items =
+    Asm.insns [ Asm.mov (Insn.Imm 1) (Reg.o 0); Asm.trap 0 ]
+  in
+  let prog = { Asm.text = Asm.Label "main" :: items; data = []; entry = "main" } in
+  let image = Assembler.assemble prog in
+  let cpu = Cpu.create image in
+  Cpu.install_basic_services cpu;
+  (* Patch the mov to load 99 instead. *)
+  Cpu.patch cpu image.entry (Asm.mov (Insn.Imm 99) (Reg.o 0));
+  check_int "patched exit code" 99 (Cpu.run cpu)
+
+let test_cpu_probe () =
+  let count = ref 0 in
+  let items =
+    Asm.insns
+      [
+        Asm.mov (Insn.Imm 0) (Reg.l 0);
+      ]
+    @ [
+        Asm.Label "loop";
+        Asm.Insn (Asm.add (Reg.l 0) (Insn.Imm 1) (Reg.l 0));
+        Asm.Insn (Asm.cmp (Reg.l 0) (Insn.Imm 5));
+        Asm.Insn (Asm.branch Cond.L "loop");
+      ]
+    @ Asm.insns [ Asm.mov (Insn.Imm 0) (Reg.o 0); Asm.trap 0 ]
+  in
+  let prog = { Asm.text = Asm.Label "main" :: items; data = []; entry = "main" } in
+  let image = Assembler.assemble prog in
+  let cpu = Cpu.create image in
+  Cpu.install_basic_services cpu;
+  let loop_addr = Option.get (Assembler.addr_of_label image "loop") in
+  Cpu.add_probe cpu loop_addr (fun _ -> incr count);
+  ignore (Cpu.run cpu);
+  check_int "probe fired per iteration" 5 !count
+
+let test_cpu_fuel () =
+  let items = [ Asm.Label "spin"; Asm.Insn (Asm.ba "spin") ] in
+  let prog = { Asm.text = Asm.Label "main" :: items; data = []; entry = "main" } in
+  let image = Assembler.assemble prog in
+  let cpu = Cpu.create image in
+  (try
+     ignore (Cpu.run ~fuel:1000 cpu);
+     Alcotest.fail "expected Out_of_fuel"
+   with Cpu.Out_of_fuel { executed } -> check_int "fuel" 1000 executed)
+
+let test_cpu_cycles_accumulate () =
+  let items =
+    Asm.insns
+      [ Asm.mov (Insn.Imm 0) (Reg.o 0); Asm.trap 0 ]
+  in
+  let _, _, _ = run_program items [] in
+  let cpu, _, _ = run_program items [] in
+  let s = Cpu.stats cpu in
+  check_bool "cycles > instrs" true (s.Cpu.cycles > s.Cpu.instrs);
+  check_int "instrs" 2 s.Cpu.instrs
+
+let test_cpu_unhandled_trap () =
+  let items = Asm.insns [ Asm.trap 77 ] in
+  let prog = { Asm.text = Asm.Label "main" :: items; data = []; entry = "main" } in
+  let image = Assembler.assemble prog in
+  let cpu = Cpu.create image in
+  (try
+     ignore (Cpu.run cpu);
+     Alcotest.fail "expected fault"
+   with Cpu.Fault _ -> ())
+
+let suites =
+  [
+    ( "machine.memory",
+      [
+        Alcotest.test_case "words" `Quick test_memory_words;
+        Alcotest.test_case "bytes and halves" `Quick test_memory_bytes;
+        Alcotest.test_case "page offsets do not alias" `Quick test_memory_page_offsets;
+        Alcotest.test_case "sign extension" `Quick test_memory_signed;
+      ] );
+    ( "machine.cache",
+      [
+        Alcotest.test_case "hits and conflicts" `Quick test_cache_basic;
+        Alcotest.test_case "flush" `Quick test_cache_flush;
+      ] );
+    ( "machine.windows",
+      [
+        Alcotest.test_case "overlap" `Quick test_windows_overlap;
+        Alcotest.test_case "g0" `Quick test_windows_g0;
+        Alcotest.test_case "spill accounting" `Quick test_windows_spill;
+        Alcotest.test_case "oscillation is free" `Quick test_windows_oscillation;
+      ] );
+    ( "machine.cpu",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_cpu_arith;
+        Alcotest.test_case "memory + set_label" `Quick test_cpu_memory_and_set;
+        Alcotest.test_case "loop and branch" `Quick test_cpu_loop_and_branch;
+        Alcotest.test_case "call/save/restore" `Quick test_cpu_call_save_restore;
+        Alcotest.test_case "print traps" `Quick test_cpu_output;
+        Alcotest.test_case "sbrk" `Quick test_cpu_sbrk;
+        Alcotest.test_case "store hook" `Quick test_cpu_store_hook;
+        Alcotest.test_case "patching" `Quick test_cpu_patch;
+        Alcotest.test_case "probes" `Quick test_cpu_probe;
+        Alcotest.test_case "fuel" `Quick test_cpu_fuel;
+        Alcotest.test_case "cycle accounting" `Quick test_cpu_cycles_accumulate;
+        Alcotest.test_case "unhandled trap" `Quick test_cpu_unhandled_trap;
+      ] );
+  ]

@@ -1,0 +1,285 @@
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let run ?(fuel = 10_000_000) src = Minic.Compile.run ~fuel src
+
+let exit_code src =
+  let code, _ = run src in
+  code
+
+let output src =
+  let _, out = run src in
+  out
+
+let test_return () =
+  check_int "constant" 42 (exit_code "int main() { return 42; }");
+  check_int "arith" 7 (exit_code "int main() { return 1 + 2 * 3; }");
+  check_int "parens" 9 (exit_code "int main() { return (1 + 2) * 3; }");
+  check_int "division" 5 (exit_code "int main() { return 17 / 3; }");
+  check_int "modulo" 2 (exit_code "int main() { return 17 % 3; }");
+  check_int "negative mod" (-2) (exit_code "int main() { return -17 % 3; }");
+  check_int "shifts" 20 (exit_code "int main() { return (5 << 3) >> 1; }");
+  check_int "bitops" 6 (exit_code "int main() { return (12 & 7) | (3 ^ 1); }");
+  check_int "unary" (-5) (exit_code "int main() { return -(2 + 3); }");
+  check_int "bnot" (-1) (exit_code "int main() { return ~0; }");
+  check_int "implicit return" 0 (exit_code "int main() { 1 + 1; }")
+
+let test_locals () =
+  check_int "local" 10
+    (exit_code "int main() { int x; x = 4; x = x + 6; return x; }");
+  check_int "two locals" 30
+    (exit_code "int main() { int a; int b; a = 10; b = 20; return a + b; }");
+  check_int "register local" 15
+    (exit_code
+       "int main() { register int i; int s; s = 0; for (i = 1; i <= 5; i = i \
+        + 1) { s = s + i; } return s; }")
+
+let test_globals () =
+  check_int "global init" 7 (exit_code "int g = 7; int main() { return g; }");
+  check_int "global update" 12
+    (exit_code "int g = 5; int main() { g = g + 7; return g; }");
+  check_int "global array" 45
+    (exit_code
+       "int a[10]; int main() { int i; int s; s = 0; for (i = 0; i < 10; i = \
+        i + 1) { a[i] = i; } for (i = 0; i < 10; i = i + 1) { s = s + a[i]; \
+        } return s; }")
+
+let test_control_flow () =
+  check_int "if true" 1 (exit_code "int main() { if (2 > 1) { return 1; } return 2; }");
+  check_int "if false" 2 (exit_code "int main() { if (1 > 2) { return 1; } return 2; }");
+  check_int "if else" 5
+    (exit_code "int main() { if (0) { return 4; } else { return 5; } }");
+  check_int "while" 10
+    (exit_code "int main() { int i; i = 0; while (i < 10) { i = i + 1; } return i; }");
+  check_int "break" 3
+    (exit_code
+       "int main() { int i; for (i = 0; i < 10; i = i + 1) { if (i == 3) { \
+        break; } } return i; }");
+  check_int "continue" 25
+    (exit_code
+       "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { \
+        if (i % 2 == 0) { continue; } s = s + i; } return s; }");
+  check_int "nested loops" 100
+    (exit_code
+       "int main() { int i; int j; int n; n = 0; for (i = 0; i < 10; i = i + \
+        1) { for (j = 0; j < 10; j = j + 1) { n = n + 1; } } return n; }")
+
+let test_logical () =
+  check_int "and true" 1 (exit_code "int main() { return 1 && 2; }");
+  check_int "and false" 0 (exit_code "int main() { return 1 && 0; }");
+  check_int "or" 1 (exit_code "int main() { return 0 || 3; }");
+  check_int "not" 1 (exit_code "int main() { return !0; }");
+  (* Short circuit: g must not be incremented. *)
+  check_int "short circuit" 5
+    (exit_code
+       "int g = 5; int bump() { g = g + 1; return 1; } int main() { 0 && \
+        bump(); return g; }");
+  check_int "or short circuit" 5
+    (exit_code
+       "int g = 5; int bump() { g = g + 1; return 1; } int main() { 1 || \
+        bump(); return g; }")
+
+let test_functions () =
+  check_int "call" 42
+    (exit_code "int f(int x) { return x * 2; } int main() { return f(21); }");
+  check_int "six args" 21
+    (exit_code
+       "int sum6(int a, int b, int c, int d, int e, int f) { return a + b + \
+        c + d + e + f; } int main() { return sum6(1, 2, 3, 4, 5, 6); }");
+  check_int "recursion" 120
+    (exit_code
+       "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); \
+        } int main() { return fact(5); }");
+  check_int "fib" 55
+    (exit_code
+       "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n \
+        - 2); } int main() { return fib(10); }");
+  check_int "mutual recursion" 1
+    (exit_code
+       "int is_even(int n) { if (n == 0) { return 1; } \
+        return is_odd(n - 1); } int is_odd(int n) { if (n == 0) { return 0; \
+        } return is_even(n - 1); } int main() { return is_even(10); }")
+
+let test_pointers () =
+  check_int "address and deref" 9
+    (exit_code "int main() { int x; int *p; x = 4; p = &x; *p = 9; return x; }");
+  check_int "pointer arith" 30
+    (exit_code
+       "int a[4]; int main() { int *p; p = &a[0]; *p = 10; *(p + 1) = 20; \
+        return a[0] + a[1]; }");
+  check_int "pointer indexing" 7
+    (exit_code "int a[5]; int main() { int *p; p = a; p[3] = 7; return a[3]; }");
+  check_int "pointer difference" 3
+    (exit_code "int a[8]; int main() { int *p; int *q; p = &a[1]; q = &a[4]; return q - p; }");
+  check_int "pointer through function" 11
+    (exit_code
+       "int set(int *p, int v) { *p = v; return 0; } int main() { int x; \
+        set(&x, 11); return x; }")
+
+let test_structs () =
+  check_int "fields" 30
+    (exit_code
+       "struct point { int x; int y; }; struct point p; int main() { p.x = \
+        10; p.y = 20; return p.x + p.y; }");
+  check_int "local struct" 12
+    (exit_code
+       "struct pair { int a; int b; }; int main() { struct pair q; q.a = 5; \
+        q.b = 7; return q.a + q.b; }");
+  check_int "arrow" 15
+    (exit_code
+       "struct node { int v; int next; }; struct node n; int main() { struct \
+        node *p; p = &n; p->v = 15; return n.v; }");
+  check_int "array of structs" 6
+    (exit_code
+       "struct cell { int a; int b; }; struct cell cells[3]; int main() { \
+        int i; int s; for (i = 0; i < 3; i = i + 1) { cells[i].a = i; \
+        cells[i].b = i; } s = 0; for (i = 0; i < 3; i = i + 1) { s = s + \
+        cells[i].a + cells[i].b; } return s; }")
+
+let test_typed_struct_fields () =
+  (* Pointer-typed fields support chained arrows without temporaries. *)
+  check_int "chained arrows" 42
+    (exit_code
+       "struct n { int v; struct n *next; }; int main() { struct n a; struct         n b; struct n c; a.next = &b; b.next = &c; c.v = 42; return         a.next->next->v; }");
+  (* Field order determines offsets regardless of type. *)
+  check_int "mixed field kinds" 11
+    (exit_code
+       "struct p { int *q; int v; }; int g; int main() { struct p s; s.q =         &g; s.v = 4; *s.q = 7; return g + s.v; }")
+
+let test_malloc () =
+  check_int "malloc basic" 5
+    (exit_code
+       "int main() { int *p; p = malloc(40); p[9] = 5; return p[9]; }");
+  check_int "malloc distinct" 30
+    (exit_code
+       "int main() { int *p; int *q; p = malloc(16); q = malloc(16); p[0] = \
+        10; q[0] = 20; return p[0] + q[0]; }");
+  check_int "free and reuse" 1
+    (exit_code
+       "int main() { int *p; int *q; p = malloc(64); free(p); q = \
+        malloc(64); return p == q; }");
+  check_int "linked list" 15
+    (exit_code
+       "struct node { int v; struct node *next; }; int main() { struct node \
+        *head; struct node *n; int i; int s; head = 0; for (i = 1; i <= 5; i \
+        = i + 1) { n = malloc(8); n->v = i; n->next = head; head = n; } s = \
+        0; n = head; while (n != 0) { s = s + n->v; n = n->next; } return s; \
+        }")
+
+let test_builtins_output () =
+  check_string "print_int" "42" (output "int main() { print_int(42); return 0; }");
+  check_string "print_char" "hi"
+    (output "int main() { print_char('h'); print_char('i'); return 0; }");
+  check_string "print_str" "hello\n"
+    (output "int main() { print_str(\"hello\\n\"); return 0; }");
+  check_string "negative int" "-7" (output "int main() { print_int(-7); return 0; }")
+
+let test_char_literals () =
+  check_int "char" 97 (exit_code "int main() { return 'a'; }");
+  check_int "newline" 10 (exit_code "int main() { return '\\n'; }")
+
+let test_memset_memcpy () =
+  check_int "memset" 35
+    (exit_code
+       "int a[7]; int main() { int i; int s; memset_words(a, 5, 7); s = 0; \
+        for (i = 0; i < 7; i = i + 1) { s = s + a[i]; } return s; }");
+  check_int "memcpy" 6
+    (exit_code
+       "int a[3]; int b[3]; int main() { a[0] = 1; a[1] = 2; a[2] = 3; \
+        memcpy_words(b, a, 3); return b[0] + b[1] + b[2]; }")
+
+let test_spill_deep_expr () =
+  (* Forces expression-stack spills past the six register slots. *)
+  check_int "deep expression" 78
+    (exit_code
+       "int main() { return 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 \
+        + (11 + 12)))))))))); }")
+
+let test_comments_and_hex () =
+  check_int "comments" 3
+    (exit_code
+       "// line comment\nint main() { /* block\ncomment */ return 3; }");
+  check_int "hex" 255 (exit_code "int main() { return 0xFF; }");
+  (* Large constants exercise the sethi/or materialization. *)
+  check_int "large negative" (-100000)
+    (exit_code "int main() { return -100000; }");
+  check_int "large positive" 123456789
+    (exit_code "int main() { return 123456789; }");
+  check_int "int32 min" (-2147483648)
+    (exit_code "int main() { return -2147483647 - 1; }");
+  check_int "wraparound" (-2147483648)
+    (exit_code "int main() { return 2147483647 + 1; }")
+
+let expect_error phase src =
+  match Minic.Compile.run src with
+  | exception Minic.Compile.Error e ->
+    check_string ("phase for " ^ src) phase e.Minic.Compile.phase
+  | _ -> Alcotest.failf "expected %s error for %s" phase src
+
+let test_errors () =
+  expect_error "parse" "int main() { return 1 }";
+  expect_error "parse" "int main( { }";
+  expect_error "typecheck" "int main() { return x; }";
+  expect_error "typecheck" "int main() { foo(); }";
+  expect_error "typecheck" "int f() { return 0; }";  (* no main *)
+  expect_error "typecheck" "int main() { int x; return x[0]; }";
+  expect_error "typecheck" "struct s { int a; }; int main() { struct s v; return v; }";
+  expect_error "typecheck" "int main() { register int r; return &r; }";
+  expect_error "typecheck" "int main(int a, int a) { return 0; }";
+  expect_error "typecheck" "int print_int(int x) { return x; } int main() { return 0; }";
+  expect_error "typecheck" "int main() { 1 = 2; }"
+
+let test_register_vs_stack_semantics () =
+  (* The same source with and without register must agree. *)
+  let body decl =
+    Printf.sprintf
+      "int acc; int main() { %s int i; acc = 0; for (i = 0; i < 100; i = i \
+       + 1) { acc = acc + i; } return acc %% 251; }"
+      decl
+  in
+  let with_reg = body "register int unused;" in
+  let without = body "int unused;" in
+  check_int "same result" (exit_code without) (exit_code with_reg)
+
+let prop_arith_matches_ocaml =
+  QCheck.Test.make ~name:"compiled arithmetic matches OCaml semantics" ~count:60
+    QCheck.(
+      triple (int_range (-1000) 1000) (int_range (-1000) 1000)
+        (int_range 1 100))
+    (fun (a, b, c) ->
+      let src =
+        Printf.sprintf
+          "int main() { int a; int b; int c; a = %d; b = %d; c = %d; return \
+           (a + b * c - (a / c)) %% 256; }"
+          a b c
+      in
+      let expected = (a + (b * c) - (a / c)) mod 256 in
+      let got = exit_code src in
+      (* Exit codes are full ints in the simulator. *)
+      got = expected)
+
+let suites =
+  [
+    ( "minic.exec",
+      [
+        Alcotest.test_case "returns and arithmetic" `Quick test_return;
+        Alcotest.test_case "locals" `Quick test_locals;
+        Alcotest.test_case "globals" `Quick test_globals;
+        Alcotest.test_case "control flow" `Quick test_control_flow;
+        Alcotest.test_case "logical operators" `Quick test_logical;
+        Alcotest.test_case "functions" `Quick test_functions;
+        Alcotest.test_case "pointers" `Quick test_pointers;
+        Alcotest.test_case "structs" `Quick test_structs;
+        Alcotest.test_case "typed struct fields" `Quick test_typed_struct_fields;
+        Alcotest.test_case "malloc/free" `Quick test_malloc;
+        Alcotest.test_case "builtin output" `Quick test_builtins_output;
+        Alcotest.test_case "char literals" `Quick test_char_literals;
+        Alcotest.test_case "memset/memcpy" `Quick test_memset_memcpy;
+        Alcotest.test_case "deep expressions spill" `Quick test_spill_deep_expr;
+        Alcotest.test_case "comments and hex" `Quick test_comments_and_hex;
+        Alcotest.test_case "register/stack equivalence" `Quick
+          test_register_vs_stack_semantics;
+        QCheck_alcotest.to_alcotest prop_arith_matches_ocaml;
+      ] );
+    ("minic.errors", [ Alcotest.test_case "rejects bad programs" `Quick test_errors ]);
+  ]
