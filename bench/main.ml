@@ -2,17 +2,83 @@
    paper's evaluation (see DESIGN.md section 4 for the experiment
    index).  Run a single experiment by name, or everything:
 
-     dune exec bench/main.exe [table1|table2|figure3|nops|strategies|
-                               breakeven|readwrite|ablations|micro|all]
-*)
+     dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
+                                  breakeven|readwrite|ablations|smoke|
+                                  micro|all] [-j N] [--json FILE]
+
+   Cells run on a pool of [-j] worker domains (default: [DBP_JOBS] or
+   [Domain.recommended_domain_count ()]; [-j 1] is fully serial).  The
+   tables printed on stdout are byte-identical for every [-j]; timing
+   (wall seconds, aggregate simulated MIPS) goes to stderr, and
+   [--json] writes a per-cell report including simulated-MIPS. *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|micro|all]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|micro|all] [-j N] [--json FILE]";
   exit 2
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Per-cell simulated-throughput report; schema documented in README. *)
+let write_json ~experiment path =
+  let cells = Runner.cells () in
+  let agg_instrs, agg_wall, agg_mips = Runner.aggregate () in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"dbp-bench/1\",\n";
+  p "  \"experiment\": \"%s\",\n" (json_escape experiment);
+  p "  \"jobs\": %d,\n" (Pool.jobs ());
+  p "  \"cells\": [\n";
+  List.iteri
+    (fun i (c : Runner.cell) ->
+      p "    {\"label\": \"%s\", \"cycles\": %d, \"instrs\": %d, "
+        (json_escape c.Runner.label) c.Runner.c_cycles c.Runner.c_instrs;
+      (match c.Runner.overhead_pct with
+      | Some o -> p "\"overhead_pct\": %.2f, " o
+      | None -> p "\"overhead_pct\": null, ");
+      p "\"wall_s\": %.4f, \"simulated_mips\": %.2f}%s\n" c.Runner.c_wall_s
+        c.Runner.c_mips
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  p "  ],\n";
+  p "  \"aggregate\": {\"instrs\": %d, \"wall_s\": %.4f, \"simulated_mips\": %.2f}\n"
+    agg_instrs agg_wall agg_mips;
+  p "}\n";
+  close_out oc
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let experiment = ref None in
+  let json_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest ->
+      (match Pool.parse_jobs n with
+      | Some n -> Pool.set_jobs n
+      | None -> usage ());
+      parse rest
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse rest
+    | arg :: rest when !experiment = None && String.length arg > 0 && arg.[0] <> '-' ->
+      experiment := Some arg;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let which = Option.value ~default:"all" !experiment in
   let t0 = Unix.gettimeofday () in
   (match which with
   | "table1" -> Tables.table1 ()
@@ -23,6 +89,7 @@ let () =
   | "breakeven" -> Tables.breakeven ()
   | "readwrite" -> Tables.readwrite ()
   | "ablations" -> Tables.ablations ()
+  | "smoke" -> Tables.smoke ()
   | "micro" -> Micro.run ()
   | "all" ->
     Tables.table1 ();
@@ -35,4 +102,13 @@ let () =
     Tables.ablations ();
     Micro.run ()
   | _ -> usage ());
-  Printf.printf "\n(total bench time: %.1fs)\n" (Unix.gettimeofday () -. t0)
+  (* Timing is host-dependent, so it goes to stderr: stdout stays
+     byte-identical across [-j] values (the bench-smoke alias and the
+     acceptance check diff it). *)
+  let agg_instrs, agg_wall, agg_mips = Runner.aggregate () in
+  Printf.eprintf
+    "(total bench time: %.1fs; %d simulated Minstrs in %.1fs of simulator time, %.1f MIPS aggregate, -j %d)\n"
+    (Unix.gettimeofday () -. t0)
+    (agg_instrs / 1_000_000)
+    agg_wall agg_mips (Pool.jobs ());
+  Option.iter (fun path -> write_json ~experiment:which path) !json_path

@@ -1,0 +1,73 @@
+(* Domain-based worker pool for the benchmark harness.
+
+   Every experiment in [Tables] is a list of independent cells (one per
+   workload row, or per sweep point); [map] shards them across worker
+   domains pulling indices from an atomic counter.  The simulator is
+   deterministic and the library keeps no global mutable state, so the
+   only cross-domain coordination the harness needs is [Runner]'s
+   baseline cache (mutex-protected there).
+
+   Results are returned in input order and exceptions are re-raised in
+   input order, so output is byte-identical for every [-j] value. *)
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+let env_jobs () =
+  match Sys.getenv_opt "DBP_JOBS" with
+  | Some s -> (
+    match parse_jobs s with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "warning: ignoring invalid DBP_JOBS=%S\n%!" s;
+      Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* 0 = not yet resolved; the [-j] flag (see [Main]) overrides the
+   [DBP_JOBS] environment variable, which overrides
+   [Domain.recommended_domain_count]. *)
+let requested = ref 0
+
+let set_jobs n = requested := max 1 n
+
+let jobs () =
+  if !requested = 0 then requested := env_jobs ();
+  !requested
+
+let map : 'a 'b. ('a -> 'b) -> 'a list -> 'b list =
+ fun f xs ->
+  let n = List.length xs in
+  let j = min (jobs ()) n in
+  if j <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (* Each slot is written by exactly one domain (the index comes
+           from the shared counter), so plain array stores suffice; the
+           joins below publish them to the parent. *)
+        (results.(i) <-
+           Some
+             (match f input.(i) with
+             | v -> Ok v
+             | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+        worker ()
+      end
+    in
+    let others = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join others;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+         results)
+  end
+

@@ -1,7 +1,15 @@
 open Dbp
 
 (* Run workloads under instrumentation configurations, with caching of
-   uninstrumented baselines. *)
+   uninstrumented baselines.
+
+   The harness may run cells on several domains at once (see [Pool]),
+   so the two pieces of shared state here — the baseline cache and the
+   observability log — are mutex-protected.  The simulator itself is
+   deterministic and shares nothing between [Cpu.t] instances, so a
+   duplicated baseline computation (two domains missing the cache for
+   the same workload at the same time) is merely redundant work that
+   stores the same value twice. *)
 
 let fuel = 200_000_000
 
@@ -10,18 +18,71 @@ type run = {
   instrs : int;
   stores : int;
   exit_code : int;
+  wall_s : float;  (** host seconds spent inside the simulator run *)
 }
 
+let simulated_mips { instrs; wall_s; _ } =
+  if wall_s <= 0.0 then 0.0 else float_of_int instrs /. wall_s /. 1e6
+
+(* --- observability: per-cell log and aggregate throughput ------------------ *)
+
+type cell = {
+  label : string;  (** e.g. ["008.espresso/bitmap-inline-regs"] *)
+  c_cycles : int;
+  c_instrs : int;
+  overhead_pct : float option;  (** vs the uninstrumented baseline *)
+  c_wall_s : float;
+  c_mips : float;
+}
+
+let log_mu = Mutex.create ()
+let log : cell list ref = ref []
+let agg_instrs = ref 0
+let agg_wall = ref 0.0
+
+let record ~label ?overhead_pct (r : run) =
+  let c =
+    {
+      label;
+      c_cycles = r.cycles;
+      c_instrs = r.instrs;
+      overhead_pct;
+      c_wall_s = r.wall_s;
+      c_mips = simulated_mips r;
+    }
+  in
+  Mutex.protect log_mu (fun () ->
+      log := c :: !log;
+      agg_instrs := !agg_instrs + r.instrs;
+      agg_wall := !agg_wall +. r.wall_s)
+
+let cells () = Mutex.protect log_mu (fun () -> List.rev !log)
+
+let aggregate () =
+  Mutex.protect log_mu (fun () ->
+      let mips =
+        if !agg_wall <= 0.0 then 0.0
+        else float_of_int !agg_instrs /. !agg_wall /. 1e6
+      in
+      (!agg_instrs, !agg_wall, mips))
+
+(* --- baseline runs --------------------------------------------------------- *)
+
+let cache_mu = Mutex.create ()
 let baseline_cache : (string, run) Hashtbl.t = Hashtbl.create 16
 
 let baseline (w : Workloads.Workload.t) : run =
-  match Hashtbl.find_opt baseline_cache w.name with
+  match
+    Mutex.protect cache_mu (fun () -> Hashtbl.find_opt baseline_cache w.name)
+  with
   | Some r -> r
   | None ->
     let linked = Minic.Compile.compile_and_link w.source in
     let cpu = Machine.Cpu.create linked.image in
     Machine.Cpu.install_basic_services cpu;
+    let t0 = Unix.gettimeofday () in
     let exit_code = Machine.Cpu.run ~fuel cpu in
+    let wall_s = Unix.gettimeofday () -. t0 in
     (match w.expected_exit with
     | Some e when e <> exit_code ->
       failwith (Printf.sprintf "%s: baseline exit %d <> expected %d" w.name exit_code e)
@@ -29,9 +90,10 @@ let baseline (w : Workloads.Workload.t) : run =
     let s = Machine.Cpu.stats cpu in
     let r =
       { cycles = s.Machine.Cpu.cycles; instrs = s.Machine.Cpu.instrs;
-        stores = s.Machine.Cpu.stores; exit_code }
+        stores = s.Machine.Cpu.stores; exit_code; wall_s }
     in
-    Hashtbl.replace baseline_cache w.name r;
+    Mutex.protect cache_mu (fun () -> Hashtbl.replace baseline_cache w.name r);
+    record ~label:(w.name ^ "/baseline") r;
     r
 
 let options_for (w : Workloads.Workload.t) ?(opt = Instrument.O0)
@@ -52,13 +114,17 @@ let options_for (w : Workloads.Workload.t) ?(opt = Instrument.O0)
     single_cache;
   }
 
+let overhead (w : Workloads.Workload.t) run = Stats.pct (baseline w).cycles run.cycles
+
 (* Run instrumented; [enable] turns monitoring on with no regions (the
    monitor-miss steady state Table 1 measures). *)
 let instrumented ?(enable = true) options (w : Workloads.Workload.t) :
     run * Session.t =
   let session = Session.create ~options w.source in
   if enable then Mrs.enable session.Session.mrs;
+  let t0 = Unix.gettimeofday () in
   let exit_code, _ = Session.run ~fuel session in
+  let wall_s = Unix.gettimeofday () -. t0 in
   (match w.expected_exit with
   | Some e when e <> exit_code ->
     failwith
@@ -66,8 +132,14 @@ let instrumented ?(enable = true) options (w : Workloads.Workload.t) :
          (Strategy.to_string options.Instrument.strategy) exit_code e)
   | _ -> ());
   let s = Session.stats session in
-  ( { cycles = s.Machine.Cpu.cycles; instrs = s.Machine.Cpu.instrs;
-      stores = s.Machine.Cpu.stores; exit_code },
-    session )
-
-let overhead (w : Workloads.Workload.t) run = Stats.pct (baseline w).cycles run.cycles
+  let r =
+    { cycles = s.Machine.Cpu.cycles; instrs = s.Machine.Cpu.instrs;
+      stores = s.Machine.Cpu.stores; exit_code; wall_s }
+  in
+  let label =
+    Printf.sprintf "%s/%s%s" w.name
+      (Strategy.to_string options.Instrument.strategy)
+      (if enable then "" else "/disabled")
+  in
+  record ~label ~overhead_pct:(overhead w r) r;
+  (r, session)

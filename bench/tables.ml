@@ -3,7 +3,12 @@ open Dbp
 (* Reproduction of every table and figure in the paper's evaluation.
    Overheads are ratios of simulated cycle counts (see DESIGN.md §2);
    the paper's corresponding numbers are printed alongside each table
-   in EXPERIMENTS.md. *)
+   in EXPERIMENTS.md.
+
+   Every experiment is phrased compute-then-print: the per-row (or
+   per-sweep-point) cell computations go through {!Pool.map}, which
+   shards them across worker domains and returns results in input
+   order, so the printed tables are byte-identical for every [-j]. *)
 
 let workloads = Workloads.Spec.all
 
@@ -72,7 +77,7 @@ let table1 () =
     ]
   in
   let rows =
-    List.map
+    Pool.map
       (fun (w : Workloads.Workload.t) ->
         let disabled =
           let o = Runner.options_for w Strategy.Bitmap_inline_registers in
@@ -99,26 +104,32 @@ let table1 () =
     printable
 
 let nops () =
+  let rows =
+    Pool.map
+      (fun (w : Workloads.Workload.t) ->
+        let points =
+          List.map
+            (fun n ->
+              let o =
+                { (Runner.options_for w Strategy.Nocheck) with Instrument.nop_padding = n }
+              in
+              let r, _ = Runner.instrumented ~enable:false o w in
+              (float_of_int n, Runner.overhead w r))
+            [ 2; 4; 8; 16; 32 ]
+        in
+        let _, slope, sigma = Stats.linreg points in
+        (w, points, slope, sigma))
+      workloads
+  in
   Printf.printf "\n== Nop-insertion experiment (cache alignment effects, sec 3.3.1) ==\n";
   Printf.printf "%-18s%10s%10s%10s%10s%10s%12s%10s\n" "Programs" "2" "4" "8" "16"
     "32" "slope/nop" "sigma";
   List.iter
-    (fun (w : Workloads.Workload.t) ->
-      let points =
-        List.map
-          (fun n ->
-            let o =
-              { (Runner.options_for w Strategy.Nocheck) with Instrument.nop_padding = n }
-            in
-            let r, _ = Runner.instrumented ~enable:false o w in
-            (float_of_int n, Runner.overhead w r))
-          [ 2; 4; 8; 16; 32 ]
-      in
-      let _, slope, sigma = Stats.linreg points in
+    (fun (w, points, slope, sigma) ->
       Printf.printf "%-18s" (lang_tag w);
       List.iter (fun (_, y) -> Printf.printf "%9.1f%%" y) points;
       Printf.printf "%11.2f%%%9.2f%%\n" slope sigma)
-    workloads
+    rows
 
 (* --- Figure 3: segment cache locality vs segment size -------------------------- *)
 
@@ -147,19 +158,24 @@ let cache_hit_rate (w : Workloads.Workload.t) ~seg_bits =
 
 let figure3 () =
   let sizes = [ 7; 8; 9; 10; 11; 12 ] in
+  let rows =
+    Pool.map
+      (fun (w : Workloads.Workload.t) ->
+        (w, List.map (fun sb -> cache_hit_rate w ~seg_bits:sb) sizes))
+      workloads
+  in
   Printf.printf "\n== Figure 3: segment cache locality (hit %%) vs segment size ==\n";
   Printf.printf "%-18s" "Programs";
   List.iter (fun sb -> Printf.printf "%9dw" ((1 lsl sb) / 4)) sizes;
   print_newline ();
   let all_rates =
     List.map
-      (fun (w : Workloads.Workload.t) ->
-        let rates = List.map (fun sb -> cache_hit_rate w ~seg_bits:sb) sizes in
+      (fun ((w : Workloads.Workload.t), rates) ->
         Printf.printf "%-18s" (lang_tag w);
         List.iter (fun r -> Printf.printf "%9.1f%%" r) rates;
         print_newline ();
         rates)
-      workloads
+      rows
   in
   Printf.printf "%-18s" "AVERAGE";
   List.iteri
@@ -173,7 +189,7 @@ let figure3 () =
 
 let table2 () =
   let rows =
-    List.map
+    Pool.map
       (fun (w : Workloads.Workload.t) ->
         (* Full optimization run. *)
         let o_full =
@@ -251,14 +267,10 @@ let table2 () =
 (* --- Strategy comparison (sec 1 / Wahbe's pilot study) ----------------------------- *)
 
 let strategies () =
-  Printf.printf
-    "\n== Implementation strategy comparison (sec 1; Wahbe ASPLOS'92 pilot) ==\n";
-  Printf.printf "%-18s%14s%14s%14s%14s%14s\n" "Programs" "Bitmap(regs)" "HashTable"
-    "TrapPerWrite" "VM-pageprot" "HW-watch";
-  let dbx_factor = 85_000.0 in
-  List.iter
-    (fun (w : Workloads.Workload.t) ->
-      let base = Runner.baseline w in
+  let rows =
+    Pool.map
+      (fun (w : Workloads.Workload.t) ->
+        let base = Runner.baseline w in
       let bitmap =
         let r, _ =
           Runner.instrumented (Runner.options_for w Strategy.Bitmap_inline_registers) w
@@ -310,10 +322,18 @@ let strategies () =
         let r, _ = Runner.instrumented o w in
         Runner.overhead w r
       in
+        (w, bitmap, hash, trap_ovh, pageprot, hw))
+      workloads
+  in
+  Printf.printf
+    "\n== Implementation strategy comparison (sec 1; Wahbe ASPLOS'92 pilot) ==\n";
+  Printf.printf "%-18s%14s%14s%14s%14s%14s\n" "Programs" "Bitmap(regs)" "HashTable"
+    "TrapPerWrite" "VM-pageprot" "HW-watch";
+  List.iter
+    (fun (w, bitmap, hash, trap_ovh, pageprot, hw) ->
       Printf.printf "%-18s%13.1f%%%13.1f%%%13.1f%%%13.1f%%%13.1f%%\n" (lang_tag w)
-        bitmap hash trap_ovh pageprot hw;
-      ignore dbx_factor)
-    workloads;
+        bitmap hash trap_ovh pageprot hw)
+    rows;
   Printf.printf
     "\n(dbx-style single-step checking is a constant factor of ~%.0fx, the paper's\n\
      measured value -- 8,500,000%% overhead, off this table's scale.)\n"
@@ -330,11 +350,8 @@ let strategies () =
       that buy an almost-free "no breakpoints" mode;
    2. per-write-type segment caches (§3.1) vs one shared cache. *)
 let ablations () =
-  Printf.printf "\n== Ablations ==\n";
-  Printf.printf "%-18s%12s%12s%14s%12s%14s\n" "Programs" "BIR" "BIR-noguard"
-    "BIR-disabled" "Cache4" "Cache-shared";
   let rows =
-    List.map
+    Pool.map
       (fun (w : Workloads.Workload.t) ->
         let bir =
           let r, _ =
@@ -364,11 +381,22 @@ let ablations () =
           let r, _ = Runner.instrumented o w in
           Runner.overhead w r
         in
-        Printf.printf "%-18s%11.1f%%%11.1f%%%13.1f%%%11.1f%%%13.1f%%\n"
-          (lang_tag w) bir bir_noguard bir_disabled cache4 cache1;
-        [ bir; bir_noguard; bir_disabled; cache4; cache1 ])
+        (w, [ bir; bir_noguard; bir_disabled; cache4; cache1 ]))
       workloads
   in
+  Printf.printf "\n== Ablations ==\n";
+  Printf.printf "%-18s%12s%12s%14s%12s%14s\n" "Programs" "BIR" "BIR-noguard"
+    "BIR-disabled" "Cache4" "Cache-shared";
+  List.iter
+    (fun (w, xs) ->
+      Printf.printf "%-18s" (lang_tag w);
+      (match xs with
+      | [ bir; bir_noguard; bir_disabled; cache4; cache1 ] ->
+        Printf.printf "%11.1f%%%11.1f%%%13.1f%%%11.1f%%%13.1f%%\n" bir
+          bir_noguard bir_disabled cache4 cache1
+      | _ -> assert false))
+    rows;
+  let rows = List.map snd rows in
   let col i = Stats.mean (List.map (fun xs -> List.nth xs i) rows) in
   Printf.printf "%-18s%11.1f%%%11.1f%%%13.1f%%%11.1f%%%13.1f%%\n" "AVERAGE"
     (col 0) (col 1) (col 2) (col 3) (col 4);
@@ -386,11 +414,8 @@ let ablations () =
    handle them.  This table measures that extension: checking every
    read and write vs. writes only. *)
 let readwrite () =
-  Printf.printf "\n== Read+write monitoring (sec 5 extension) ==\n";
-  Printf.printf "%-18s%12s%14s%14s%12s\n" "Programs" "loads/store" "writes-only"
-    "reads+writes" "ratio";
   let rows =
-    List.map
+    Pool.map
       (fun (w : Workloads.Workload.t) ->
         let base = Runner.baseline w in
         let wo =
@@ -416,11 +441,19 @@ let readwrite () =
           let st = Machine.Cpu.stats cpu in
           float_of_int st.Machine.Cpu.loads /. float_of_int (max 1 st.Machine.Cpu.stores)
         in
-        Printf.printf "%-18s%12.2f%13.1f%%%13.1f%%%12.2f\n" (lang_tag w) ls wo rw
-          (rw /. wo);
-        (w, [ wo; rw ]))
+        (w, ls, [ wo; rw ]))
       workloads
   in
+  Printf.printf "\n== Read+write monitoring (sec 5 extension) ==\n";
+  Printf.printf "%-18s%12s%14s%14s%12s\n" "Programs" "loads/store" "writes-only"
+    "reads+writes" "ratio";
+  List.iter
+    (fun (w, ls, xs) ->
+      let wo = List.nth xs 0 and rw = List.nth xs 1 in
+      Printf.printf "%-18s%12.2f%13.1f%%%13.1f%%%12.2f\n" (lang_tag w) ls wo rw
+        (rw /. wo))
+    rows;
+  let rows = List.map (fun (w, _, xs) -> (w, xs)) rows in
   let c_w = Stats.mean (List.filter_map (fun ((w : Workloads.Workload.t), xs) ->
       if w.lang = Workloads.Workload.C then Some (List.nth xs 0) else None) rows) in
   let c_rw = Stats.mean (List.filter_map (fun ((w : Workloads.Workload.t), xs) ->
@@ -434,12 +467,9 @@ let readwrite () =
 (* --- Break-even analysis (sec 3.3.3) ------------------------------------------------- *)
 
 let breakeven () =
-  Printf.printf
-    "\n== Break-even: segment caching vs BitmapInlineRegisters (sec 3.3.3) ==\n";
-  Printf.printf "%-10s%14s%14s%14s%16s\n" "ratio" "full-lookup%" "Cache ovh"
-    "BmpInlRegs ovh" "winner";
-  List.iter
-    (fun ratio ->
+  let rows =
+    Pool.map
+      (fun ratio ->
       (* A monitored region sits in array b's segment (on a word the
          loop never writes), so stores to b need full lookups while
          stores to a are segment cache hits. *)
@@ -506,6 +536,52 @@ int main() {
       let base = (Runner.baseline w).Runner.cycles in
       let full_pct = 100.0 *. float_of_int full_lookups /. float_of_int (max 1 total) in
       let co = Stats.pct base cache_cycles and bo = Stats.pct base bir_cycles in
+      (ratio, full_pct, co, bo))
+      [ 120; 16; 8; 4; 2; 1 ]
+  in
+  Printf.printf
+    "\n== Break-even: segment caching vs BitmapInlineRegisters (sec 3.3.3) ==\n";
+  Printf.printf "%-10s%14s%14s%14s%16s\n" "ratio" "full-lookup%" "Cache ovh"
+    "BmpInlRegs ovh" "winner";
+  List.iter
+    (fun (ratio, full_pct, co, bo) ->
       Printf.printf "%-10d%13.1f%%%13.1f%%%13.1f%%%16s\n" ratio full_pct co bo
         (if co < bo then "Cache" else "BmpInlRegs"))
-    [ 120; 16; 8; 4; 2; 1 ]
+    rows
+
+(* --- Smoke subset (bench-smoke alias, BENCH_smoke.json) -------------------------- *)
+
+(* A fast subset of Table 1 — the two cheapest workloads under three
+   strategies — for quick regression checks: the [bench-smoke] dune
+   alias runs it with [-j 1] and [-j 2] and diffs the output, and
+   [--json] snapshots it as BENCH_smoke.json. *)
+let smoke () =
+  let names = [ "023.eqntott"; "030.matrix300" ] in
+  let ws =
+    List.filter_map
+      (fun n ->
+        match Workloads.Spec.find n with
+        | Some w -> Some w
+        | None -> failwith ("smoke: unknown workload " ^ n))
+      names
+  in
+  let strategies =
+    [ Strategy.Bitmap; Strategy.Bitmap_inline_registers; Strategy.Cache ]
+  in
+  let cells =
+    List.concat_map (fun w -> List.map (fun s -> (w, s)) strategies) ws
+  in
+  let rows =
+    Pool.map
+      (fun ((w : Workloads.Workload.t), s) ->
+        let r, _ = Runner.instrumented (Runner.options_for w s) w in
+        (w, s, Runner.overhead w r))
+      cells
+  in
+  Printf.printf "\n== Smoke subset (monitored, no regions) ==\n";
+  Printf.printf "%-18s%22s%12s\n" "Programs" "Strategy" "Overhead";
+  List.iter
+    (fun ((w : Workloads.Workload.t), s, ovh) ->
+      Printf.printf "%-18s%22s%11.1f%%\n" (lang_tag w) (Strategy.to_string s)
+        ovh)
+    rows

@@ -1,13 +1,22 @@
 open Sparc
 
+(* Direct-mapped cache model.  [access] runs once per instruction fetch
+   and once per data access, so it is one of the simulator's hottest
+   functions: the line index uses a bit mask whenever the line count is
+   a power of two (the seed's [mod] compiled to an integer divide), and
+   validity is folded into the tag array (tag [-1] can never match a
+   real line address, which is non-negative). *)
+
 type t = {
   line_bits : int;
   lines : int;
+  mask : int;  (* [lines - 1] when lines is a power of two, else [-1] *)
   tags : int array;
-  valid : bool array;
   mutable hits : int;
   mutable misses : int;
 }
+
+let invalid_tag = -1
 
 let create ?(size_bytes = 64 * 1024) ?(line_bytes = 32) () =
   if size_bytes mod line_bytes <> 0 then invalid_arg "Cache.create";
@@ -16,23 +25,24 @@ let create ?(size_bytes = 64 * 1024) ?(line_bytes = 32) () =
   {
     line_bits = log2 line_bytes;
     lines;
-    tags = Array.make lines 0;
-    valid = Array.make lines false;
+    mask = (if lines land (lines - 1) = 0 then lines - 1 else -1);
+    tags = Array.make lines invalid_tag;
     hits = 0;
     misses = 0;
   }
 
 let access t addr =
   let line_addr = Word.to_unsigned addr lsr t.line_bits in
-  let idx = line_addr mod t.lines in
-  if t.valid.(idx) && t.tags.(idx) = line_addr then begin
+  let idx =
+    if t.mask >= 0 then line_addr land t.mask else line_addr mod t.lines
+  in
+  if Array.unsafe_get t.tags idx = line_addr then begin
     t.hits <- t.hits + 1;
     true
   end
   else begin
     t.misses <- t.misses + 1;
-    t.valid.(idx) <- true;
-    t.tags.(idx) <- line_addr;
+    Array.unsafe_set t.tags idx line_addr;
     false
   end
 
@@ -44,5 +54,5 @@ let reset_counters t =
   t.misses <- 0
 
 let flush t =
-  Array.fill t.valid 0 t.lines false;
+  Array.fill t.tags 0 t.lines invalid_tag;
   reset_counters t

@@ -4,7 +4,18 @@
     combined I+D, 32-byte lines (§3.3.1).  Only hit/miss behaviour is
     modelled — contents live in {!Memory}. *)
 
-type t
+type t = {
+  line_bits : int;
+  lines : int;
+  mask : int;  (** [lines - 1] when [lines] is a power of two, else [-1] *)
+  tags : int array;  (** per-line tag; [-1] marks an invalid line *)
+  mutable hits : int;
+  mutable misses : int;
+}
+(** The representation is exposed so {!Cpu}'s hot loop can inline the
+    access check (one array read per instruction fetch / data access)
+    without a cross-module call.  Code outside [Cpu] must treat it as
+    abstract and go through {!access}/{!flush}. *)
 
 val create : ?size_bytes:int -> ?line_bytes:int -> unit -> t
 (** Defaults: 64 KiB, 32-byte lines.

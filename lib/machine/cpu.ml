@@ -36,7 +36,7 @@ type t = {
   cache : Cache.t;
   win : Windows.t;
   mutable pc : int;
-  mutable icc : Cond.icc;
+  mutable icc : int;  (* packed {!Cond} flags; see [Cond.pack] *)
   mutable halted : int option;
   mutable ninstrs : int;
   mutable cycles : int;
@@ -47,50 +47,68 @@ type t = {
   text : Insn.t array;
   text_base : int;
   traps : (int, t -> unit) Hashtbl.t;
-  probes : (int, (t -> unit) list ref) Hashtbl.t;
+  (* Direct-indexed probe table, parallel to [text]: slot [i] holds the
+     probes registered for pc [text_base + 4i], in registration order.
+     The empty slots all share one physical [ [||] ], so the hot loop's
+     fast path is a single array read plus a length test — no hashing,
+     no allocation (the seed did a [Hashtbl.find_opt] per step). *)
+  probes : (t -> unit) array array;
   out : Buffer.t;
   mutable brk : int;
   config : config;
-  mutable store_hooks : (t -> addr:int -> width:Insn.width -> unit) list;
-  mutable load_hooks : (t -> addr:int -> width:Insn.width -> unit) list;
+  (* Store/load observers as dense counted arrays (amortized O(1)
+     registration, order-preserving).  [nstore_hooks = 0] is the
+     has-no-hooks fast-path test paid on every memory operation. *)
+  mutable store_hooks : (t -> addr:int -> width:Insn.width -> unit) array;
+  mutable nstore_hooks : int;
+  mutable load_hooks : (t -> addr:int -> width:Insn.width -> unit) array;
+  mutable nload_hooks : int;
+  (* Pre-decoded instruction closures, parallel to [text]: slot [i] is a
+     specialized [t -> unit] compiled from [text.(i)] with the operand
+     shape (register vs immediate), access width, cc flag and
+     fall-through pc all resolved at decode time.  The hot loop executes
+     one indirect call instead of re-matching the [Insn.t] tree on every
+     step.  [patch] recompiles the slot it touches; [rollback]
+     recompiles the slots whose instruction changed. *)
+  mutable code : (t -> unit) array;
 }
 
 let faultf t fmt =
   Format.kasprintf (fun reason -> raise (Fault { pc = t.pc; reason })) fmt
 
-let create ?(config = default_config) (image : Assembler.image) =
-  let mem = Memory.create () in
-  List.iter (fun (addr, v) -> Memory.write_word mem addr v) image.data_init;
-  let t =
-    {
-      mem;
-      cache = Cache.create ~size_bytes:config.cache_size ~line_bytes:config.line_bytes ();
-      win = Windows.create ~nwindows:config.nwindows ();
-      pc = image.entry;
-      icc = Cond.icc_zero;
-      halted = None;
-      ninstrs = 0;
-      cycles = 0;
-      nloads = 0;
-      nstores = 0;
-      nbranches = 0;
-      ntraps = 0;
-      text = Array.copy image.text;
-      text_base = image.text_base;
-      traps = Hashtbl.create 16;
-      probes = Hashtbl.create 64;
-      out = Buffer.create 256;
-      brk = (image.data_limit + 7) land lnot 7;
-      config;
-      store_hooks = [];
-      load_hooks = [];
-    }
-  in
-  Windows.set t.win Reg.sp 0x7FFF_FF00;
-  t
+let no_probes : (t -> unit) array = [||]
 
-let get t r = Windows.get t.win r
-let set t r v = Windows.set t.win r v
+(* Local copies of the {!Word} primitives used on the hot path: the
+   non-flambda compiler only inlines within a module, so calling
+   [Word.norm]/[Word.add] from here costs a real call per use.  These
+   are definitionally identical to the [Word] versions. *)
+let[@inline] norm x =
+  let v = x land 0xFFFFFFFF in
+  if v land 0x80000000 <> 0 then v - 0x1_0000_0000 else v
+
+let[@inline] uns x = x land 0xFFFFFFFF
+
+(* Register accessors, inlined from {!Windows} (whose representation is
+   exposed for exactly this): several reads/writes per simulated
+   instruction, so the cross-module call mattered. *)
+let get t r =
+  let w = t.win in
+  match r with
+  | Reg.G 0 -> 0
+  | Reg.G i -> w.Windows.globals.(i)
+  | Reg.O i -> w.Windows.cur.Windows.outs.(i)
+  | Reg.L i -> w.Windows.cur.Windows.locals.(i)
+  | Reg.I i -> w.Windows.cur.Windows.ins.(i)
+
+let set t r v =
+  let w = t.win in
+  let v = norm v in
+  match r with
+  | Reg.G 0 -> ()
+  | Reg.G i -> w.Windows.globals.(i) <- v
+  | Reg.O i -> w.Windows.cur.Windows.outs.(i) <- v
+  | Reg.L i -> w.Windows.cur.Windows.locals.(i) <- v
+  | Reg.I i -> w.Windows.cur.Windows.ins.(i) <- v
 
 let operand t = function
   | Insn.Reg r -> get t r
@@ -98,10 +116,16 @@ let operand t = function
 
 let on_trap t number handler = Hashtbl.replace t.traps number handler
 
+let text_index t addr =
+  let off = addr - t.text_base in
+  if off < 0 || off land 3 <> 0 || off / 4 >= Array.length t.text then
+    faultf t "pc 0x%x outside text" (Word.to_unsigned addr)
+  else off / 4
+
 let add_probe t addr f =
-  match Hashtbl.find_opt t.probes addr with
-  | Some l -> l := f :: !l
-  | None -> Hashtbl.add t.probes addr (ref [ f ])
+  let i = text_index t addr in
+  (* Probes fire in registration order (append keeps it). *)
+  t.probes.(i) <- Array.append t.probes.(i) [| f |]
 
 let output t = Buffer.contents t.out
 let print_string t s = Buffer.add_string t.out s
@@ -111,20 +135,32 @@ let sbrk t bytes =
   t.brk <- (t.brk + bytes + 7) land lnot 7;
   old
 
-let text_index t addr =
-  let off = addr - t.text_base in
-  if off < 0 || off land 3 <> 0 || off / 4 >= Array.length t.text then
-    faultf t "pc 0x%x outside text" (Word.to_unsigned addr)
-  else off / 4
-
 let fetch_at t addr = t.text.(text_index t addr)
-
-let patch t addr insn = t.text.(text_index t addr) <- insn
 
 let add_cycles t n = t.cycles <- t.cycles + n
 
+(* Cache probe, inlined from {!Cache.access}: runs once per fetch and
+   once per data access.  Counters live in the shared [Cache.t] so
+   [stats]/[flush] behave exactly as before. *)
+let cache_access t addr =
+  let c = t.cache in
+  let line_addr = uns addr lsr c.Cache.line_bits in
+  let idx =
+    if c.Cache.mask >= 0 then line_addr land c.Cache.mask
+    else line_addr mod c.Cache.lines
+  in
+  if Array.unsafe_get c.Cache.tags idx = line_addr then begin
+    c.Cache.hits <- c.Cache.hits + 1;
+    true
+  end
+  else begin
+    c.Cache.misses <- c.Cache.misses + 1;
+    Array.unsafe_set c.Cache.tags idx line_addr;
+    false
+  end
+
 let data_access t addr =
-  if not (Cache.access t.cache addr) then add_cycles t t.config.miss_penalty
+  if not (cache_access t addr) then add_cycles t t.config.miss_penalty
 
 let alu_result t op a b =
   match op with
@@ -152,18 +188,24 @@ let alu_result t op a b =
     add_cycles t (t.config.div_cycles - 1);
     (try Word.udiv a b with Division_by_zero -> faultf t "division by zero")
 
+(* Allocation-free flag update: builds the packed bits directly (the
+   seed allocated a [Cond.icc] record per cc-setting instruction). *)
 let set_icc t op a b r =
-  let n = r < 0 and z = r = 0 in
-  let v, c =
+  let nz = (if r < 0 then 8 else 0) lor if r = 0 then 4 else 0 in
+  let vc =
     match op with
-    | Insn.Add -> (Word.add_overflow a b, Word.add_carry a b)
-    | Insn.Sub -> (Word.sub_overflow a b, Word.sub_carry a b)
+    | Insn.Add ->
+      (if Word.add_overflow a b then 2 else 0)
+      lor if Word.add_carry a b then 1 else 0
+    | Insn.Sub ->
+      (if Word.sub_overflow a b then 2 else 0)
+      lor if Word.sub_carry a b then 1 else 0
     | Insn.And | Insn.Or | Insn.Xor | Insn.Andn | Insn.Orn | Insn.Xnor
     | Insn.Sll | Insn.Srl | Insn.Sra | Insn.Smul | Insn.Umul | Insn.Sdiv
     | Insn.Udiv ->
-      (false, false)
+      0
   in
-  t.icc <- { Cond.n; z; v; c }
+  t.icc <- nz lor vc
 
 let resolved t = function
   | Insn.Abs a -> a
@@ -176,16 +218,120 @@ let pair_reg t rd =
 
 let double_align t ea = if ea land 7 <> 0 then faultf t "misaligned double access 0x%x" ea
 
-let step t =
-  (match Hashtbl.find_opt t.probes t.pc with
-  | Some fs -> List.iter (fun f -> f t) (List.rev !fs)
-  | None -> ());
-  let insn = fetch_at t t.pc in
-  if not (Cache.access t.cache t.pc) then add_cycles t t.config.miss_penalty;
-  t.ninstrs <- t.ninstrs + 1;
-  add_cycles t 1;
-  let next = t.pc + 4 in
-  (match insn with
+let run_store_hooks t ea width =
+  let hs = t.store_hooks in
+  for i = 0 to t.nstore_hooks - 1 do
+    (Array.unsafe_get hs i) t ~addr:ea ~width
+  done
+
+let run_load_hooks t ea width =
+  let hs = t.load_hooks in
+  for i = 0 to t.nload_hooks - 1 do
+    (Array.unsafe_get hs i) t ~addr:ea ~width
+  done
+
+(* Width-specialized memory-operation bodies, shared between the
+   generic {!execute} (probe slow path) and the pre-decoded closures
+   built by {!compile}, so the two paths cannot diverge. *)
+
+let ld_word t ea rd =
+  t.nloads <- t.nloads + 1;
+  add_cycles t t.config.load_cycles;
+  (* Inlined aligned-word fast path: a hit on the memory's single-slot
+     page cache is one compare + one array read. *)
+  data_access t ea;
+  let a = uns ea in
+  if a land 3 <> 0 then faultf t "misaligned 4-byte load at 0x%x" a;
+  let m = t.mem in
+  let v =
+    if a lsr Memory.page_bits = m.Memory.last_key then
+      Array.unsafe_get m.Memory.last_page ((a land Memory.offset_mask) lsr 2)
+    else Memory.read_word m ea
+  in
+  set t rd v;
+  if t.nload_hooks <> 0 then run_load_hooks t ea Insn.Word
+
+let ld_double t ea rd =
+  t.nloads <- t.nloads + 1;
+  add_cycles t t.config.load_cycles;
+  double_align t ea;
+  let odd = pair_reg t rd in
+  data_access t ea;
+  data_access t (ea + 4);
+  (try
+     set t rd (Memory.read_word t.mem ea);
+     set t odd (Memory.read_word t.mem (ea + 4))
+   with Memory.Misaligned { addr; width } ->
+     faultf t "misaligned %d-byte load at 0x%x" width (Word.to_unsigned addr));
+  if t.nload_hooks <> 0 then run_load_hooks t ea Insn.Double
+
+let ld_sub t ea width signed rd =
+  t.nloads <- t.nloads + 1;
+  add_cycles t t.config.load_cycles;
+  data_access t ea;
+  (try
+     let v =
+       if signed then Memory.read_signed t.mem ea width
+       else Memory.read_unsigned t.mem ea width
+     in
+     set t rd v
+   with Memory.Misaligned { addr; width } ->
+     faultf t "misaligned %d-byte load at 0x%x" width (Word.to_unsigned addr));
+  if t.nload_hooks <> 0 then run_load_hooks t ea width
+
+let st_word t ea rd =
+  t.nstores <- t.nstores + 1;
+  add_cycles t t.config.store_cycles;
+  (* Inlined aligned-word fast path; the slot only ever holds
+     materialized pages, so writing through it is safe.  Register
+     values are already normalized. *)
+  data_access t ea;
+  let a = uns ea in
+  if a land 3 <> 0 then faultf t "misaligned 4-byte store at 0x%x" a;
+  let m = t.mem in
+  let v = get t rd in
+  if a lsr Memory.page_bits = m.Memory.last_key then
+    Array.unsafe_set m.Memory.last_page ((a land Memory.offset_mask) lsr 2) v
+  else Memory.write_word m ea v;
+  if t.nstore_hooks <> 0 then run_store_hooks t ea Insn.Word
+
+let st_double t ea rd =
+  t.nstores <- t.nstores + 1;
+  add_cycles t t.config.store_cycles;
+  double_align t ea;
+  let odd = pair_reg t rd in
+  data_access t ea;
+  data_access t (ea + 4);
+  (try
+     Memory.write_word t.mem ea (get t rd);
+     Memory.write_word t.mem (ea + 4) (get t odd)
+   with Memory.Misaligned { addr; width } ->
+     faultf t "misaligned %d-byte store at 0x%x" width (Word.to_unsigned addr));
+  if t.nstore_hooks <> 0 then run_store_hooks t ea Insn.Double
+
+let st_byte t ea rd =
+  t.nstores <- t.nstores + 1;
+  add_cycles t t.config.store_cycles;
+  data_access t ea;
+  (try Memory.write_byte t.mem ea (get t rd land 0xFF)
+   with Memory.Misaligned { addr; width } ->
+     faultf t "misaligned %d-byte store at 0x%x" width (Word.to_unsigned addr));
+  if t.nstore_hooks <> 0 then run_store_hooks t ea Insn.Byte
+
+let st_half t ea rd =
+  t.nstores <- t.nstores + 1;
+  add_cycles t t.config.store_cycles;
+  data_access t ea;
+  (try Memory.write_half t.mem ea (get t rd land 0xFFFF)
+   with Memory.Misaligned { addr; width } ->
+     faultf t "misaligned %d-byte store at 0x%x" width (Word.to_unsigned addr));
+  if t.nstore_hooks <> 0 then run_store_hooks t ea Insn.Half
+
+(* Execute [insn]; [next] is the fall-through pc.  This generic
+   interpreter only runs on the probe slow path (and so also backs the
+   differential fuzz check against the pre-decoded fast path). *)
+let execute t insn next =
+  match insn with
   | Insn.Nop -> t.pc <- next
   | Insn.Alu { op; cc; rs1; op2; rd } ->
     let a = get t rs1 and b = operand t op2 in
@@ -198,57 +344,23 @@ let step t =
     t.pc <- next
   | Insn.Ld { width; signed; rs1; off; rd } ->
     let ea = Word.add (get t rs1) (operand t off) in
-    t.nloads <- t.nloads + 1;
-    add_cycles t t.config.load_cycles;
-    (try
-       (match width with
-       | Insn.Double ->
-         double_align t ea;
-         let odd = pair_reg t rd in
-         data_access t ea;
-         data_access t (ea + 4);
-         set t rd (Memory.read_word t.mem ea);
-         set t odd (Memory.read_word t.mem (ea + 4))
-       | Insn.Word | Insn.Byte | Insn.Half ->
-         data_access t ea;
-         let v =
-           if signed then Memory.read_signed t.mem ea width
-           else Memory.read_unsigned t.mem ea width
-         in
-         set t rd v)
-     with Memory.Misaligned { addr; width } ->
-       faultf t "misaligned %d-byte load at 0x%x" width (Word.to_unsigned addr));
-    List.iter (fun hook -> hook t ~addr:ea ~width) t.load_hooks;
+    (match width with
+    | Insn.Word -> ld_word t ea rd
+    | Insn.Double -> ld_double t ea rd
+    | Insn.Byte | Insn.Half -> ld_sub t ea width signed rd);
     t.pc <- next
   | Insn.St { width; rd; rs1; off } ->
     let ea = Word.add (get t rs1) (operand t off) in
-    t.nstores <- t.nstores + 1;
-    add_cycles t t.config.store_cycles;
-    (try
-       (match width with
-       | Insn.Double ->
-         double_align t ea;
-         let odd = pair_reg t rd in
-         data_access t ea;
-         data_access t (ea + 4);
-         Memory.write_word t.mem ea (get t rd);
-         Memory.write_word t.mem (ea + 4) (get t odd)
-       | Insn.Word ->
-         data_access t ea;
-         Memory.write_word t.mem ea (get t rd)
-       | Insn.Byte ->
-         data_access t ea;
-         Memory.write_byte t.mem ea (get t rd land 0xFF)
-       | Insn.Half ->
-         data_access t ea;
-         Memory.write_half t.mem ea (get t rd land 0xFFFF))
-     with Memory.Misaligned { addr; width } ->
-       faultf t "misaligned %d-byte store at 0x%x" width (Word.to_unsigned addr));
-    List.iter (fun hook -> hook t ~addr:ea ~width) t.store_hooks;
+    (match width with
+    | Insn.Word -> st_word t ea rd
+    | Insn.Double -> st_double t ea rd
+    | Insn.Byte -> st_byte t ea rd
+    | Insn.Half -> st_half t ea rd);
     t.pc <- next
   | Insn.Branch { cond; target } ->
     t.nbranches <- t.nbranches + 1;
-    if Cond.eval cond t.icc then t.pc <- resolved t target else t.pc <- next
+    if Cond.eval_packed cond t.icc then t.pc <- resolved t target
+    else t.pc <- next
   | Insn.Call { target } ->
     set t Reg.o7 t.pc;
     t.pc <- resolved t target
@@ -278,22 +390,312 @@ let step t =
     t.pc <- next;
     (match Hashtbl.find_opt t.traps number with
     | Some handler -> handler t
-    | None -> faultf t "unhandled trap %d" number))
+    | None -> faultf t "unhandled trap %d" number)
+
+(* Packed condition codes for the compile-time-specialized [addcc] /
+   [subcc] closures below: same bits as {!set_icc}, computed without
+   the cross-module [Word.add_overflow]/[add_carry] calls. *)
+let[@inline] icc_add a b r =
+  (if r < 0 then 8 else 0)
+  lor (if r = 0 then 4 else 0)
+  lor (if (a >= 0 && b >= 0 && r < 0) || (a < 0 && b < 0 && r >= 0) then 2
+       else 0)
+  lor if uns a + uns b > 0xFFFFFFFF then 1 else 0
+
+let[@inline] icc_sub a b r =
+  (if r < 0 then 8 else 0)
+  lor (if r = 0 then 4 else 0)
+  lor (if (a >= 0 && b < 0 && r < 0) || (a < 0 && b >= 0 && r >= 0) then 2
+       else 0)
+  lor if uns a < uns b then 1 else 0
+
+(* Pre-decode one instruction into a specialized closure.  The
+   fall-through pc, operand shapes, access width and cc flag are all
+   resolved here, once, instead of being re-matched on every execution.
+   The bodies delegate to the same [ld_*]/[st_*]/[alu_result]/[set_icc]
+   helpers as {!execute}, so both paths stay bit-identical. *)
+let compile text_base idx insn : t -> unit =
+  let next = text_base + ((idx + 1) lsl 2) in
+  match insn with
+  | Insn.Nop -> fun t -> t.pc <- next
+  | Insn.Alu { op; cc; rs1; op2; rd } -> (
+    match (op, cc, op2) with
+    (* The shapes below cover almost every ALU instruction the mini-C
+       compiler emits (address arithmetic, loop increments, and the
+       [mov]/[cmp] synthetics); specializing them removes both the
+       per-execution dispatch on [op] and the [Word] calls. *)
+    | Insn.Add, false, Insn.Imm i ->
+      let b = norm i in
+      fun t ->
+        set t rd (norm (get t rs1 + b));
+        t.pc <- next
+    | Insn.Add, false, Insn.Reg rs2 ->
+      fun t ->
+        set t rd (norm (get t rs1 + get t rs2));
+        t.pc <- next
+    | Insn.Sub, false, Insn.Imm i ->
+      let b = norm i in
+      fun t ->
+        set t rd (norm (get t rs1 - b));
+        t.pc <- next
+    | Insn.Sub, false, Insn.Reg rs2 ->
+      fun t ->
+        set t rd (norm (get t rs1 - get t rs2));
+        t.pc <- next
+    | Insn.Or, false, Insn.Imm i ->
+      let b = norm i in
+      fun t ->
+        set t rd (norm (get t rs1 lor b));
+        t.pc <- next
+    | Insn.Or, false, Insn.Reg rs2 ->
+      fun t ->
+        set t rd (norm (get t rs1 lor get t rs2));
+        t.pc <- next
+    | Insn.Sll, false, Insn.Imm i ->
+      let b = norm i land 31 in
+      fun t ->
+        set t rd (norm (get t rs1 lsl b));
+        t.pc <- next
+    | Insn.Add, true, Insn.Imm i ->
+      let b = norm i in
+      fun t ->
+        let a = get t rs1 in
+        let r = norm (a + b) in
+        set t rd r;
+        t.icc <- icc_add a b r;
+        t.pc <- next
+    | Insn.Add, true, Insn.Reg rs2 ->
+      fun t ->
+        let a = get t rs1 and b = get t rs2 in
+        let r = norm (a + b) in
+        set t rd r;
+        t.icc <- icc_add a b r;
+        t.pc <- next
+    | Insn.Sub, true, Insn.Imm i ->
+      let b = norm i in
+      fun t ->
+        let a = get t rs1 in
+        let r = norm (a - b) in
+        set t rd r;
+        t.icc <- icc_sub a b r;
+        t.pc <- next
+    | Insn.Sub, true, Insn.Reg rs2 ->
+      fun t ->
+        let a = get t rs1 and b = get t rs2 in
+        let r = norm (a - b) in
+        set t rd r;
+        t.icc <- icc_sub a b r;
+        t.pc <- next
+    | _, _, Insn.Imm i ->
+      let b = norm i in
+      if cc then
+        fun t ->
+          let a = get t rs1 in
+          let r = alu_result t op a b in
+          set t rd r;
+          set_icc t op a b r;
+          t.pc <- next
+      else
+        fun t ->
+          set t rd (alu_result t op (get t rs1) b);
+          t.pc <- next
+    | _, _, Insn.Reg rs2 ->
+      if cc then
+        fun t ->
+          let a = get t rs1 and b = get t rs2 in
+          let r = alu_result t op a b in
+          set t rd r;
+          set_icc t op a b r;
+          t.pc <- next
+      else
+        fun t ->
+          set t rd (alu_result t op (get t rs1) (get t rs2));
+          t.pc <- next)
+  | Insn.Sethi { imm; rd } ->
+    let v = Word.norm (imm lsl 10) in
+    fun t ->
+      set t rd v;
+      t.pc <- next
+  | Insn.Ld { width; signed; rs1; off; rd } -> (
+    match (width, off) with
+    | Insn.Word, Insn.Imm i ->
+      let i = Word.norm i in
+      fun t ->
+        ld_word t (norm (get t rs1 + i)) rd;
+        t.pc <- next
+    | Insn.Word, Insn.Reg rs2 ->
+      fun t ->
+        ld_word t (norm (get t rs1 + get t rs2)) rd;
+        t.pc <- next
+    | Insn.Double, _ ->
+      fun t ->
+        ld_double t (Word.add (get t rs1) (operand t off)) rd;
+        t.pc <- next
+    | (Insn.Byte | Insn.Half), _ ->
+      fun t ->
+        ld_sub t (Word.add (get t rs1) (operand t off)) width signed rd;
+        t.pc <- next)
+  | Insn.St { width; rd; rs1; off } -> (
+    match (width, off) with
+    | Insn.Word, Insn.Imm i ->
+      let i = Word.norm i in
+      fun t ->
+        st_word t (norm (get t rs1 + i)) rd;
+        t.pc <- next
+    | Insn.Word, Insn.Reg rs2 ->
+      fun t ->
+        st_word t (norm (get t rs1 + get t rs2)) rd;
+        t.pc <- next
+    | Insn.Double, _ ->
+      fun t ->
+        st_double t (Word.add (get t rs1) (operand t off)) rd;
+        t.pc <- next
+    | Insn.Byte, _ ->
+      fun t ->
+        st_byte t (Word.add (get t rs1) (operand t off)) rd;
+        t.pc <- next
+    | Insn.Half, _ ->
+      fun t ->
+        st_half t (Word.add (get t rs1) (operand t off)) rd;
+        t.pc <- next)
+  | Insn.Branch { cond; target } -> (
+    match (target, cond) with
+    | Insn.Abs a, Cond.A ->
+      fun t ->
+        t.nbranches <- t.nbranches + 1;
+        t.pc <- a
+    | Insn.Abs a, _ ->
+      fun t ->
+        t.nbranches <- t.nbranches + 1;
+        t.pc <- (if Cond.eval_packed cond t.icc then a else next)
+    | Insn.Sym _, _ ->
+      fun t ->
+        t.nbranches <- t.nbranches + 1;
+        if Cond.eval_packed cond t.icc then t.pc <- resolved t target
+        else t.pc <- next)
+  | Insn.Call { target } -> (
+    match target with
+    | Insn.Abs a ->
+      fun t ->
+        set t Reg.o7 t.pc;
+        t.pc <- a
+    | Insn.Sym _ ->
+      fun t ->
+        set t Reg.o7 t.pc;
+        t.pc <- resolved t target)
+  | Insn.Jmpl { rs1; off; rd } ->
+    fun t ->
+      let dest = Word.add (get t rs1) (operand t off) in
+      if dest land 3 <> 0 then
+        faultf t "misaligned jump to 0x%x" (Word.to_unsigned dest);
+      set t rd t.pc;
+      t.pc <- dest
+  | Insn.Save { rs1; op2; rd } ->
+    fun t ->
+      let v = Word.add (get t rs1) (operand t op2) in
+      let spills = Windows.spills t.win in
+      Windows.save t.win;
+      if Windows.spills t.win > spills then add_cycles t t.config.spill_cycles;
+      set t rd v;
+      t.pc <- next
+  | Insn.Restore { rs1; op2; rd } ->
+    fun t ->
+      let v = Word.add (get t rs1) (operand t op2) in
+      let fills = Windows.fills t.win in
+      (try Windows.restore t.win
+       with Windows.Underflow -> faultf t "register window underflow");
+      if Windows.fills t.win > fills then add_cycles t t.config.spill_cycles;
+      set t rd v;
+      t.pc <- next
+  | Insn.Trap { number } ->
+    fun t ->
+      t.ntraps <- t.ntraps + 1;
+      add_cycles t t.config.trap_cycles;
+      t.pc <- next;
+      (match Hashtbl.find_opt t.traps number with
+      | Some handler -> handler t
+      | None -> faultf t "unhandled trap %d" number)
+
+let create ?(config = default_config) (image : Assembler.image) =
+  let mem = Memory.create () in
+  List.iter (fun (addr, v) -> Memory.write_word mem addr v) image.data_init;
+  let text = Array.copy image.text in
+  let t =
+    {
+      mem;
+      cache = Cache.create ~size_bytes:config.cache_size ~line_bytes:config.line_bytes ();
+      win = Windows.create ~nwindows:config.nwindows ();
+      pc = image.entry;
+      icc = Cond.packed_zero;
+      halted = None;
+      ninstrs = 0;
+      cycles = 0;
+      nloads = 0;
+      nstores = 0;
+      nbranches = 0;
+      ntraps = 0;
+      text;
+      text_base = image.text_base;
+      traps = Hashtbl.create 16;
+      probes = Array.make (Array.length image.text) no_probes;
+      out = Buffer.create 256;
+      brk = (image.data_limit + 7) land lnot 7;
+      config;
+      store_hooks = [||];
+      nstore_hooks = 0;
+      load_hooks = [||];
+      nload_hooks = 0;
+      code = Array.mapi (compile image.text_base) text;
+    }
+  in
+  Windows.set t.win Reg.sp 0x7FFF_FF00;
+  t
+
+let patch t addr insn =
+  let i = text_index t addr in
+  t.text.(i) <- insn;
+  t.code.(i) <- compile t.text_base i insn
+
+let step t =
+  let off = t.pc - t.text_base in
+  let idx = off lsr 2 in
+  (* A negative [off] shifts to a huge positive [idx], so one unsigned
+     comparison covers both underflow and overflow. *)
+  if off land 3 <> 0 || idx >= Array.length t.text then
+    faultf t "pc 0x%x outside text" (Word.to_unsigned t.pc);
+  let ps = Array.unsafe_get t.probes idx in
+  if ps == no_probes then begin
+    if not (cache_access t t.pc) then add_cycles t t.config.miss_penalty;
+    t.ninstrs <- t.ninstrs + 1;
+    add_cycles t 1;
+    (Array.unsafe_get t.code idx) t
+  end
+  else begin
+    Array.iter (fun f -> f t) ps;
+    (* A probe may patch text or move the pc (breakpoint callbacks);
+       re-fetch through the checked path and fall back to the generic
+       interpreter. *)
+    let insn = fetch_at t t.pc in
+    if not (cache_access t t.pc) then add_cycles t t.config.miss_penalty;
+    t.ninstrs <- t.ninstrs + 1;
+    add_cycles t 1;
+    execute t insn (t.pc + 4)
+  end
 
 let halt t code = t.halted <- Some code
 
 let run ?(fuel = 200_000_000) t =
-  let rec loop n =
-    match t.halted with
-    | Some code -> code
-    | None ->
-      if n >= fuel then raise (Out_of_fuel { executed = n })
-      else begin
-        step t;
-        loop (n + 1)
-      end
-  in
-  loop 0
+  (* Counted loop: [halted] can only flip inside [step] (a trap handler,
+     probe, or hook), so a single field test per iteration suffices — no
+     option allocation, no per-step match on the fuel path. *)
+  let n = ref 0 in
+  while t.halted == None && !n < fuel do
+    step t;
+    incr n
+  done;
+  match t.halted with
+  | Some code -> code
+  | None -> raise (Out_of_fuel { executed = !n })
 
 let install_basic_services t =
   on_trap t 0 (fun t -> halt t (get t (Reg.o 0)));
@@ -311,7 +713,7 @@ type checkpoint = {
   cp_mem : Memory.t;
   cp_win : Windows.t;
   cp_pc : int;
-  cp_icc : Cond.icc;
+  cp_icc : int;
   cp_halted : int option;
   cp_ninstrs : int;
   cp_cycles : int;
@@ -354,7 +756,16 @@ let rollback t cp =
   t.nstores <- cp.cp_nstores;
   t.nbranches <- cp.cp_nbranches;
   t.ntraps <- cp.cp_ntraps;
-  Array.blit cp.cp_text 0 t.text 0 (Array.length t.text);
+  for i = 0 to Array.length t.text - 1 do
+    let insn = cp.cp_text.(i) in
+    (* [Insn.t] values are immutable, so a physically unchanged slot
+       still has a valid pre-decoded closure; only recompile slots the
+       run actually patched. *)
+    if insn != t.text.(i) then begin
+      t.text.(i) <- insn;
+      t.code.(i) <- compile t.text_base i insn
+    end
+  done;
   Buffer.clear t.out;
   Buffer.add_string t.out cp.cp_out;
   t.brk <- cp.cp_brk;
@@ -365,8 +776,26 @@ let pc t = t.pc
 let set_pc t pc = t.pc <- pc
 let brk t = t.brk
 let halted t = t.halted
-let set_store_hook t hook = t.store_hooks <- t.store_hooks @ [ hook ]
-let set_load_hook t hook = t.load_hooks <- t.load_hooks @ [ hook ]
+
+let push_hook arr n hook =
+  let cap = Array.length arr in
+  if n < cap then begin
+    arr.(n) <- hook;
+    arr
+  end
+  else begin
+    let bigger = Array.make (max 4 (2 * cap)) hook in
+    Array.blit arr 0 bigger 0 n;
+    bigger
+  end
+
+let set_store_hook t hook =
+  t.store_hooks <- push_hook t.store_hooks t.nstore_hooks hook;
+  t.nstore_hooks <- t.nstore_hooks + 1
+
+let set_load_hook t hook =
+  t.load_hooks <- push_hook t.load_hooks t.nload_hooks hook;
+  t.nload_hooks <- t.nload_hooks + 1
 
 type stats = {
   instrs : int;

@@ -39,7 +39,10 @@ val get : t -> Sparc.Reg.t -> int
 val set : t -> Sparc.Reg.t -> int -> unit
 
 val step : t -> unit
-(** Execute one instruction. *)
+(** Execute one instruction.  Instructions are pre-decoded into
+    specialized closures at load time (and on {!patch}/{!rollback}), so
+    a step with no probe registered at the pc is one direct-indexed
+    table read plus one indirect call. *)
 
 val run : ?fuel:int -> t -> int
 (** Run until the program halts (trap 0); returns the exit code.
@@ -57,7 +60,11 @@ val install_basic_services : t -> unit
 val add_probe : t -> int -> (t -> unit) -> unit
 (** Run a zero-cost observer just before each execution of the
     instruction at [addr] — used by the benchmark harness to count
-    events (e.g. segment-cache hits) without perturbing the simulation. *)
+    events (e.g. segment-cache hits) without perturbing the simulation.
+    Probes at the same address fire in registration order.  Probes live
+    in a direct-indexed table parallel to the text segment, so the
+    per-instruction cost when no probe is registered is a single array
+    read. @raise Fault if [addr] is outside text. *)
 
 val output : t -> string
 (** Everything the program printed via the print traps. *)
@@ -73,7 +80,8 @@ val fetch_at : t -> int -> Sparc.Insn.t
 
 val patch : t -> int -> Sparc.Insn.t -> unit
 (** Replace the decoded instruction at [addr] — the primitive beneath
-    Kessler-style fast-breakpoint patches. *)
+    Kessler-style fast-breakpoint patches.  The slot's pre-decoded
+    closure is recompiled in place. *)
 
 val add_cycles : t -> int -> unit
 (** Charge extra cycles (used by trap handlers modelling expensive
@@ -90,7 +98,10 @@ val halted : t -> int option
 val set_store_hook : t -> (t -> addr:int -> width:Sparc.Insn.width -> unit) -> unit
 (** Register an observer invoked after every executed store with its
     effective address (the test oracle; the hardware-watchpoint
-    strategy).  Hooks compose: each registered hook runs in order. *)
+    strategy).  Hooks compose: each registered hook runs in
+    registration order.  Registration is amortized O(1) (hooks live in
+    a counted array), and a zero-hook machine pays only one integer
+    test per memory operation. *)
 
 val set_load_hook : t -> (t -> addr:int -> width:Sparc.Insn.width -> unit) -> unit
 (** Same for loads (the read-monitoring oracle). *)

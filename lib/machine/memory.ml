@@ -4,39 +4,62 @@ exception Misaligned of { addr : int; width : int }
 
 let page_bits = 12
 let page_words = 1 lsl (page_bits - 2)
+let offset_mask = (1 lsl page_bits) - 1
 
-type t = { pages : (int, int array) Hashtbl.t }
+type t = {
+  pages : (int, int array) Hashtbl.t;
+  (* Single-slot page cache: the last page touched through the word
+     paths.  Spatial locality makes almost every access hit the slot,
+     so the common case is one integer compare instead of a [Hashtbl]
+     probe (which also allocates a [Some] per hit).  [last_key] is
+     [invalid_key] whenever [last_page] must not be trusted. *)
+  mutable last_key : int;
+  mutable last_page : int array;
+}
 
-let create () = { pages = Hashtbl.create 1024 }
+let invalid_key = min_int
+let no_page : int array = [||]
+
+let create () = { pages = Hashtbl.create 1024; last_key = invalid_key; last_page = no_page }
 
 let page_of t addr =
   let key = Word.to_unsigned addr lsr page_bits in
-  match Hashtbl.find_opt t.pages key with
-  | Some p -> p
-  | None ->
-    let p = Array.make page_words 0 in
-    Hashtbl.add t.pages key p;
-    p
-
-(* Reads of never-written pages return zero without allocating. *)
-let page_ro t addr =
-  Hashtbl.find_opt t.pages (Word.to_unsigned addr lsr page_bits)
-
-let word_index addr = (Word.to_unsigned addr land ((1 lsl page_bits) - 1)) lsr 2
+  if key = t.last_key then t.last_page
+  else
+    match Hashtbl.find_opt t.pages key with
+    | Some p ->
+      t.last_key <- key;
+      t.last_page <- p;
+      p
+    | None ->
+      let p = Array.make page_words 0 in
+      Hashtbl.add t.pages key p;
+      t.last_key <- key;
+      t.last_page <- p;
+      p
 
 let check_align addr width =
   if Word.to_unsigned addr land (width - 1) <> 0 then
     raise (Misaligned { addr; width })
 
 let read_word t addr =
-  check_align addr 4;
-  match page_ro t addr with
-  | None -> 0
-  | Some p -> p.(word_index addr)
+  let a = Word.to_unsigned addr in
+  if a land 3 <> 0 then raise (Misaligned { addr; width = 4 });
+  let key = a lsr page_bits in
+  if key = t.last_key then Array.unsafe_get t.last_page ((a land offset_mask) lsr 2)
+  else
+    (* Reads of never-written pages return zero without allocating. *)
+    match Hashtbl.find_opt t.pages key with
+    | None -> 0
+    | Some p ->
+      t.last_key <- key;
+      t.last_page <- p;
+      Array.unsafe_get p ((a land offset_mask) lsr 2)
 
 let write_word t addr v =
-  check_align addr 4;
-  (page_of t addr).(word_index addr) <- Word.norm v
+  let a = Word.to_unsigned addr in
+  if a land 3 <> 0 then raise (Misaligned { addr; width = 4 });
+  Array.unsafe_set (page_of t addr) ((a land offset_mask) lsr 2) (Word.norm v)
 
 let read_byte t addr =
   let w = read_word t (addr land lnot 3) in
@@ -80,11 +103,14 @@ let read_unsigned t addr = function
 let snapshot t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter (fun k page -> Hashtbl.replace pages k (Array.copy page)) t.pages;
-  { pages }
+  { pages; last_key = invalid_key; last_page = no_page }
 
 let restore t snap =
   Hashtbl.reset t.pages;
-  Hashtbl.iter (fun k page -> Hashtbl.replace t.pages k (Array.copy page)) snap.pages
+  Hashtbl.iter (fun k page -> Hashtbl.replace t.pages k (Array.copy page)) snap.pages;
+  (* The cached slot points into the old page set. *)
+  t.last_key <- invalid_key;
+  t.last_page <- no_page
 
 let allocated_words t =
   Hashtbl.length t.pages * page_words

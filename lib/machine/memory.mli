@@ -7,7 +7,21 @@
 
 exception Misaligned of { addr : int; width : int }
 
-type t
+type t = {
+  pages : (int, int array) Hashtbl.t;
+  mutable last_key : int;  (** single-slot page cache; see [memory.ml] *)
+  mutable last_page : int array;
+}
+(** The representation is exposed so {!Cpu}'s hot loop can inline the
+    aligned word load/store fast path (a hit on the single-slot page
+    cache is one compare and one array access).  Code outside [Cpu]
+    must treat it as abstract and use the accessors below. *)
+
+val page_bits : int
+(** Page size is [1 lsl page_bits] bytes. *)
+
+val offset_mask : int
+(** [(1 lsl page_bits) - 1]: mask selecting the in-page byte offset. *)
 
 val create : unit -> t
 

@@ -7,6 +7,10 @@ type frame = { locals : int array; ins : int array; outs : int array }
 type t = {
   globals : int array;
   mutable frames : frame list;
+  (* The head of [frames], cached so the register accessors — several
+     per simulated instruction — read a field instead of matching on the
+     list. *)
+  mutable cur : frame;
   nwindows : int;
   mutable depth : int;
   mutable resident : int;  (* windows currently in the register file *)
@@ -18,9 +22,11 @@ let fresh_frame ins =
   { locals = Array.make 8 0; ins; outs = Array.make 8 0 }
 
 let create ?(nwindows = 8) () =
+  let f0 = fresh_frame (Array.make 8 0) in
   {
     globals = Array.make 8 0;
-    frames = [ fresh_frame (Array.make 8 0) ];
+    frames = [ f0 ];
+    cur = f0;
     nwindows;
     depth = 1;
     resident = 1;
@@ -28,27 +34,22 @@ let create ?(nwindows = 8) () =
     fills = 0;
   }
 
-let current t =
-  match t.frames with
-  | f :: _ -> f
-  | [] -> raise Underflow
-
 let get t r =
   match r with
   | Reg.G 0 -> 0
   | Reg.G i -> t.globals.(i)
-  | Reg.O i -> (current t).outs.(i)
-  | Reg.L i -> (current t).locals.(i)
-  | Reg.I i -> (current t).ins.(i)
+  | Reg.O i -> t.cur.outs.(i)
+  | Reg.L i -> t.cur.locals.(i)
+  | Reg.I i -> t.cur.ins.(i)
 
 let set t r v =
   let v = Word.norm v in
   match r with
   | Reg.G 0 -> ()
   | Reg.G i -> t.globals.(i) <- v
-  | Reg.O i -> (current t).outs.(i) <- v
-  | Reg.L i -> (current t).locals.(i) <- v
-  | Reg.I i -> (current t).ins.(i) <- v
+  | Reg.O i -> t.cur.outs.(i) <- v
+  | Reg.L i -> t.cur.locals.(i) <- v
+  | Reg.I i -> t.cur.ins.(i) <- v
 
 (* The child window's ins ARE the parent's outs: sharing the array gives
    the SPARC register-window overlap for free.  All frames are retained,
@@ -61,8 +62,9 @@ let set t r v =
    depth beyond [nwindows] is therefore free after the first crossing,
    as on a real SPARC. *)
 let save t =
-  let parent = current t in
-  t.frames <- fresh_frame parent.outs :: t.frames;
+  let child = fresh_frame t.cur.outs in
+  t.frames <- child :: t.frames;
+  t.cur <- child;
   t.depth <- t.depth + 1;
   if t.resident >= t.nwindows then t.spills <- t.spills + 1
   else t.resident <- t.resident + 1
@@ -70,8 +72,9 @@ let save t =
 let restore t =
   match t.frames with
   | [] | [ _ ] -> raise Underflow
-  | _ :: rest ->
+  | _ :: (parent :: _ as rest) ->
     t.frames <- rest;
+    t.cur <- parent;
     t.depth <- t.depth - 1;
     if t.resident <= 1 then t.fills <- t.fills + 1
     else t.resident <- t.resident - 1
@@ -102,9 +105,11 @@ let copy t =
       in
       acc
   in
+  let cur = match copied with f :: _ -> f | [] -> raise Underflow in
   {
     globals = Array.copy t.globals;
     frames = copied;
+    cur;
     nwindows = t.nwindows;
     depth = t.depth;
     resident = t.resident;
@@ -116,6 +121,7 @@ let restore_from t snap =
   let s = copy snap in
   Array.blit s.globals 0 t.globals 0 8;
   t.frames <- s.frames;
+  t.cur <- s.cur;
   t.depth <- s.depth;
   t.resident <- s.resident;
   t.spills <- s.spills;

@@ -10,7 +10,22 @@ exception Underflow
 (** Raised by [restore] on the outermost window, or register access with
     no window (cannot happen after {!create}). *)
 
-type t
+type frame = { locals : int array; ins : int array; outs : int array }
+
+type t = {
+  globals : int array;
+  mutable frames : frame list;
+  mutable cur : frame;  (** head of [frames], cached for the accessors *)
+  nwindows : int;
+  mutable depth : int;
+  mutable resident : int;
+  mutable spills : int;
+  mutable fills : int;
+}
+(** The representation is exposed so {!Cpu}'s hot loop can inline
+    register reads/writes (several per simulated instruction) without a
+    cross-module call.  Code outside [Cpu] must treat it as abstract
+    and go through {!get}/{!set}/{!save}/{!restore}. *)
 
 val create : ?nwindows:int -> unit -> t
 (** Default [nwindows] is 8, as on the paper's SPARCstation. *)

@@ -20,6 +20,43 @@ type icc = { n : bool; z : bool; v : bool; c : bool }
 
 let icc_zero = { n = false; z = false; v = false; c = false }
 
+(* Packed flags, used by the simulator's hot loop: updating the flags
+   writes one immediate integer instead of allocating a record per
+   cc-setting instruction.  Bit 3 = n, bit 2 = z, bit 1 = v, bit 0 = c. *)
+
+let packed_zero = 0
+
+let pack { n; z; v; c } =
+  (if n then 8 else 0) lor (if z then 4 else 0) lor (if v then 2 else 0)
+  lor (if c then 1 else 0)
+
+let unpack bits =
+  {
+    n = bits land 8 <> 0;
+    z = bits land 4 <> 0;
+    v = bits land 2 <> 0;
+    c = bits land 1 <> 0;
+  }
+
+let eval_packed t bits =
+  match t with
+  | A -> true
+  | N -> false
+  | E -> bits land 4 <> 0
+  | Ne -> bits land 4 = 0
+  | G -> not (bits land 4 <> 0 || (bits land 8 <> 0) <> (bits land 2 <> 0))
+  | Ge -> (bits land 8 <> 0) = (bits land 2 <> 0)
+  | L -> (bits land 8 <> 0) <> (bits land 2 <> 0)
+  | Le -> bits land 4 <> 0 || (bits land 8 <> 0) <> (bits land 2 <> 0)
+  | Gu -> bits land 5 = 0
+  | Leu -> bits land 5 <> 0
+  | Cc -> bits land 1 = 0
+  | Cs -> bits land 1 <> 0
+  | Pos -> bits land 8 = 0
+  | Neg -> bits land 8 <> 0
+  | Vc -> bits land 2 = 0
+  | Vs -> bits land 2 <> 0
+
 let eval t { n; z; v; c } =
   match t with
   | A -> true

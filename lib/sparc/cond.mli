@@ -30,6 +30,19 @@ val icc_zero : icc
 val eval : t -> icc -> bool
 (** Whether a branch on this condition is taken given the flags. *)
 
+(** Packed flags for the simulator's hot loop (bit 3 = n, bit 2 = z,
+    bit 1 = v, bit 0 = c): setting flags writes one immediate integer
+    instead of allocating an [icc] record per cc-setting instruction. *)
+
+val packed_zero : int
+
+val pack : icc -> int
+
+val unpack : int -> icc
+
+val eval_packed : t -> int -> bool
+(** [eval_packed t bits = eval t (unpack bits)], allocation-free. *)
+
 val negate : t -> t
 (** The complementary condition: [eval (negate t) icc = not (eval t icc)]. *)
 

@@ -1,0 +1,49 @@
+(* Interpreter throughput microbenchmark: simulated MIPS
+   (instructions/second) of the uninstrumented hot loop, median and
+   best of 9 runs on two workloads — matrix300 (the Table-1 analogue
+   with the densest inner loop) and a 60M-instruction synthetic loop
+   that amortizes startup.  This is the evidence harness for the
+   fast-path speedup documented in DESIGN.md section 6:
+
+     dune exec mipsbench/mips.exe
+*)
+
+let measure name (linked : Minic.Compile.linked) =
+  let times = ref [] in
+  let instrs = ref 0 in
+  for _ = 1 to 9 do
+    let cpu = Machine.Cpu.create linked.image in
+    Machine.Cpu.install_basic_services cpu;
+    let t0 = Unix.gettimeofday () in
+    ignore (Machine.Cpu.run cpu);
+    let dt = Unix.gettimeofday () -. t0 in
+    let s = Machine.Cpu.stats cpu in
+    instrs := s.Machine.Cpu.instrs;
+    times := dt :: !times
+  done;
+  let sorted = List.sort compare !times in
+  let median = List.nth sorted 4 in
+  let best = List.hd sorted in
+  Printf.printf "%-12s instrs=%8d  median %6.2f MIPS  best %6.2f MIPS\n%!" name
+    !instrs
+    (float_of_int !instrs /. median /. 1e6)
+    (float_of_int !instrs /. best /. 1e6)
+
+let () =
+  let w = List.find (fun w -> w.Workloads.Workload.name = "030.matrix300") Workloads.Spec.all in
+  measure "matrix300" (Minic.Compile.compile_and_link w.Workloads.Workload.source);
+  let big = {|
+int a[256];
+int main() {
+  int i; int k; int s;
+  s = 0;
+  for (k = 0; k < 8000; k = k + 1) {
+    for (i = 0; i < 250; i = i + 1) {
+      a[i] = a[i] + i;
+      s = s + a[i];
+    }
+  }
+  return s & 255;
+}
+|} in
+  measure "big-loop" (Minic.Compile.compile_and_link big)

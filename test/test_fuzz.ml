@@ -149,4 +149,52 @@ let prop_semantics_and_soundness =
           code = expect && Session.missed_hits session = 0)
         configurations)
 
-let suites = [ ("dbp.fuzz", [ QCheck_alcotest.to_alcotest prop_semantics_and_soundness ]) ]
+(* Differential check for the interpreter's two execution paths: a
+   plain run takes the pre-decoded closure fast path on every step,
+   while a no-op probe on every text pc forces every step through the
+   probe slow path (the generic [execute] interpreter), with no-op
+   store/load hooks exercising the hook dispatch as well.  The two runs
+   must agree bit-for-bit: exit code, every stat counter (including
+   cache hits/misses and cycles), program output, and final memory. *)
+
+let memory_dump cpu =
+  let words = ref [] in
+  Machine.Memory.iter_written (Machine.Cpu.mem cpu) (fun addr v ->
+      words := (addr, v) :: !words);
+  List.sort compare !words
+
+let prop_fast_path_differential =
+  QCheck.Test.make
+    ~name:"random programs: pre-decoded fast path == generic interpreter"
+    ~count:30 arb_program (fun src ->
+      let linked = Minic.Compile.compile_and_link src in
+      let image = linked.Minic.Compile.image in
+      let fuel = 20_000_000 in
+      (* Fast path: empty probe table, no hooks. *)
+      let fast = Machine.Cpu.create image in
+      Machine.Cpu.install_basic_services fast;
+      let fast_code = Machine.Cpu.run ~fuel fast in
+      (* Slow path: a no-op probe on every pc and no-op hooks. *)
+      let slow = Machine.Cpu.create image in
+      Machine.Cpu.install_basic_services slow;
+      for i = 0 to Array.length image.Sparc.Assembler.text - 1 do
+        Machine.Cpu.add_probe slow
+          (image.Sparc.Assembler.text_base + (4 * i))
+          (fun _ -> ())
+      done;
+      Machine.Cpu.set_store_hook slow (fun _ ~addr:_ ~width:_ -> ());
+      Machine.Cpu.set_load_hook slow (fun _ ~addr:_ ~width:_ -> ());
+      let slow_code = Machine.Cpu.run ~fuel slow in
+      fast_code = slow_code
+      && Machine.Cpu.stats fast = Machine.Cpu.stats slow
+      && Machine.Cpu.output fast = Machine.Cpu.output slow
+      && memory_dump fast = memory_dump slow)
+
+let suites =
+  [
+    ( "dbp.fuzz",
+      [
+        QCheck_alcotest.to_alcotest prop_semantics_and_soundness;
+        QCheck_alcotest.to_alcotest prop_fast_path_differential;
+      ] );
+  ]

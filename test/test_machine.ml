@@ -288,6 +288,46 @@ let test_cpu_store_hook () =
   check_bool "word store seen" true (List.mem (x, Insn.Word) !stores);
   check_bool "byte store seen" true (List.mem (x + 5, Insn.Byte) !stores)
 
+let test_cpu_hook_order () =
+  (* Hooks and probes fire strictly in registration order (the counted
+     hook arrays and the per-pc probe slots both append), and
+     registering many must stay cheap — the seed's list-append
+     registration was quadratic. *)
+  let fired = ref [] in
+  let items =
+    [ Asm.Set_label { label = "x"; offset = 0; rd = Reg.l 1 } ]
+    @ Asm.insns
+        [
+          Asm.mov (Insn.Imm 7) (Reg.l 0);
+          Asm.st (Reg.l 0) (Reg.l 1) (Insn.Imm 0);
+          Asm.ld (Reg.l 1) (Insn.Imm 0) (Reg.l 2);
+          Asm.mov (Insn.Imm 0) (Reg.o 0);
+          Asm.trap 0;
+        ]
+  in
+  let prog =
+    { Asm.text = Asm.Label "main" :: items;
+      data = [ { Asm.name = "x"; size = 4; init = [] } ];
+      entry = "main" }
+  in
+  let image = Assembler.assemble prog in
+  let cpu = Cpu.create image in
+  Cpu.install_basic_services cpu;
+  let n = 100 in
+  for i = 1 to n do
+    Cpu.set_store_hook cpu (fun _ ~addr:_ ~width:_ -> fired := ("s", i) :: !fired);
+    Cpu.set_load_hook cpu (fun _ ~addr:_ ~width:_ -> fired := ("l", i) :: !fired);
+    Cpu.add_probe cpu image.entry (fun _ -> fired := ("p", i) :: !fired)
+  done;
+  ignore (Cpu.run cpu);
+  let order tag =
+    List.rev (List.filter_map (fun (t, i) -> if t = tag then Some i else None) !fired)
+  in
+  let expect = List.init n (fun i -> i + 1) in
+  Alcotest.(check (list int)) "store hooks in registration order" expect (order "s");
+  Alcotest.(check (list int)) "load hooks in registration order" expect (order "l");
+  Alcotest.(check (list int)) "probes in registration order" expect (order "p")
+
 let test_cpu_patch () =
   let items =
     Asm.insns [ Asm.mov (Insn.Imm 1) (Reg.o 0); Asm.trap 0 ]
@@ -385,6 +425,7 @@ let suites =
         Alcotest.test_case "print traps" `Quick test_cpu_output;
         Alcotest.test_case "sbrk" `Quick test_cpu_sbrk;
         Alcotest.test_case "store hook" `Quick test_cpu_store_hook;
+        Alcotest.test_case "hook registration order" `Quick test_cpu_hook_order;
         Alcotest.test_case "patching" `Quick test_cpu_patch;
         Alcotest.test_case "probes" `Quick test_cpu_probe;
         Alcotest.test_case "fuel" `Quick test_cpu_fuel;
