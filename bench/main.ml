@@ -4,17 +4,23 @@
 
      dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
                                   breakeven|readwrite|ablations|smoke|
-                                  micro|all] [-j N] [--json FILE]
+                                  telemetry|micro|all] [-j N] [--json FILE]
 
    Cells run on a pool of [-j] worker domains (default: [DBP_JOBS] or
    [Domain.recommended_domain_count ()]; [-j 1] is fully serial).  The
    tables printed on stdout are byte-identical for every [-j]; timing
    (wall seconds, aggregate simulated MIPS) goes to stderr, and
-   [--json] writes a per-cell report including simulated-MIPS. *)
+   [--json] writes a per-cell report including simulated-MIPS plus the
+   merged telemetry report (dbp-telemetry/1).
+
+   Every instrumented cell's telemetry report is absorbed into its
+   worker domain's sink ([Pool.telemetry_sink]); the merged summary
+   printed after the tables is a commutative sum over those sinks, so
+   it too is byte-identical for every [-j]. *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|micro|all] [-j N] [--json FILE]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|micro|all] [-j N] [--json FILE]";
   exit 2
 
 let json_escape s =
@@ -54,6 +60,7 @@ let write_json ~experiment path =
         (if i = List.length cells - 1 then "" else ","))
     cells;
   p "  ],\n";
+  p "  \"telemetry\": %s,\n" (Export.to_json_string (Pool.merged_report ()));
   p "  \"aggregate\": {\"instrs\": %d, \"wall_s\": %.4f, \"simulated_mips\": %.2f}\n"
     agg_instrs agg_wall agg_mips;
   p "}\n";
@@ -90,6 +97,7 @@ let () =
   | "readwrite" -> Tables.readwrite ()
   | "ablations" -> Tables.ablations ()
   | "smoke" -> Tables.smoke ()
+  | "telemetry" -> Tables.telemetry ()
   | "micro" -> Micro.run ()
   | "all" ->
     Tables.table1 ();
@@ -100,8 +108,14 @@ let () =
     Tables.breakeven ();
     Tables.readwrite ();
     Tables.ablations ();
+    Tables.telemetry ();
     Micro.run ()
   | _ -> usage ());
+  (* The merged telemetry summary is a sum over per-domain sinks —
+     commutative, so byte-identical for every [-j]. *)
+  let merged = Pool.merged_report () in
+  Printf.printf "\n== Telemetry (merged across all instrumented runs) ==\n";
+  print_string (Export.to_text merged);
   (* Timing is host-dependent, so it goes to stderr: stdout stays
      byte-identical across [-j] values (the bench-smoke alias and the
      acceptance check diff it). *)

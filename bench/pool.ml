@@ -10,6 +10,30 @@
    Results are returned in input order and exceptions are re-raised in
    input order, so output is byte-identical for every [-j] value. *)
 
+(* --- per-domain telemetry sinks -------------------------------------------- *)
+
+(* Each worker domain lazily creates one sink registry (via DLS) and
+   registers it here; [Runner.instrumented] absorbs every session's
+   report into its domain's sink.  [merged_report] folds the sinks into
+   one report — counter addition is commutative, so the merge does not
+   depend on which domain ran which cell and the harness output stays
+   byte-identical across [-j] values. *)
+
+let sinks_mu = Mutex.create ()
+let sinks : Telemetry.t list ref = ref []
+
+let sink_key =
+  Domain.DLS.new_key (fun () ->
+      let t = Telemetry.create () in
+      Mutex.protect sinks_mu (fun () -> sinks := t :: !sinks);
+      t)
+
+let telemetry_sink () = Domain.DLS.get sink_key
+
+let merged_report () =
+  let regs = Mutex.protect sinks_mu (fun () -> !sinks) in
+  Telemetry.merge (List.map Telemetry.report regs)
+
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
   | Some n when n >= 1 -> Some n

@@ -117,10 +117,14 @@ let options_for (w : Workloads.Workload.t) ?(opt = Instrument.O0)
 let overhead (w : Workloads.Workload.t) run = Stats.pct (baseline w).cycles run.cycles
 
 (* Run instrumented; [enable] turns monitoring on with no regions (the
-   monitor-miss steady state Table 1 measures). *)
-let instrumented ?(enable = true) options (w : Workloads.Workload.t) :
-    run * Session.t =
-  let session = Session.create ~options w.source in
+   monitor-miss steady state Table 1 measures).  [telemetry] overrides
+   the session's registry (the telemetry-overhead experiment passes a
+   disabled one); either way the session's final report is absorbed
+   into this domain's sink so the harness can print one merged,
+   scheduling-independent telemetry summary at the end. *)
+let instrumented ?(enable = true) ?telemetry ?(tag = "") options
+    (w : Workloads.Workload.t) : run * Session.t =
+  let session = Session.create ?telemetry ~options w.source in
   if enable then Mrs.enable session.Session.mrs;
   let t0 = Unix.gettimeofday () in
   let exit_code, _ = Session.run ~fuel session in
@@ -137,9 +141,11 @@ let instrumented ?(enable = true) options (w : Workloads.Workload.t) :
       stores = s.Machine.Cpu.stores; exit_code; wall_s }
   in
   let label =
-    Printf.sprintf "%s/%s%s" w.name
+    Printf.sprintf "%s/%s%s%s" w.name
       (Strategy.to_string options.Instrument.strategy)
       (if enable then "" else "/disabled")
+      (if tag = "" then "" else "/" ^ tag)
   in
   record ~label ~overhead_pct:(overhead w r) r;
+  Telemetry.absorb (Pool.telemetry_sink ()) (Session.report session);
   (r, session)

@@ -133,28 +133,21 @@ let nops () =
 
 (* --- Figure 3: segment cache locality vs segment size -------------------------- *)
 
+(* The miss count comes from the telemetry registry's
+   [Cache_misses_by_type] counter — [Session.create] probes the
+   per-write-type miss handlers itself for segment-cache strategies, so
+   Figure 3 and the telemetry reports share one definition of a miss. *)
 let cache_hit_rate (w : Workloads.Workload.t) ~seg_bits =
   let o = Runner.options_for w ~seg_bits Strategy.Cache in
-  let session = Session.create ~options:o w.source in
-  let misses = ref 0 in
-  List.iter
-    (fun wt ->
-      let label =
-        match (wt : Write_type.t) with
-        | Write_type.Bss -> "__dbp_cache_miss_bss"
-        | Write_type.Stack -> "__dbp_cache_miss_stack"
-        | Write_type.Heap -> "__dbp_cache_miss_heap"
-        | Write_type.Bss_var -> "__dbp_cache_miss_bss_var"
-      in
-      match Sparc.Assembler.addr_of_label session.Session.image label with
-      | Some addr -> Machine.Cpu.add_probe session.Session.cpu addr (fun _ -> incr misses)
-      | None -> ())
-    Write_type.all;
-  Mrs.enable session.Session.mrs;
-  ignore (Session.run ~fuel:Runner.fuel session);
+  let _, session = Runner.instrumented o w in
+  let misses =
+    Array.fold_left ( + ) 0
+      (Telemetry.get_typed session.Session.telemetry
+         Telemetry.Cache_misses_by_type)
+  in
   let total = Session.total_site_executions session in
   if total = 0 then 0.0
-  else 100.0 *. (1.0 -. (float_of_int !misses /. float_of_int total))
+  else 100.0 *. (1.0 -. (float_of_int misses /. float_of_int total))
 
 let figure3 () =
   let sizes = [ 7; 8; 9; 10; 11; 12 ] in
@@ -584,4 +577,57 @@ let smoke () =
     (fun ((w : Workloads.Workload.t), s, ovh) ->
       Printf.printf "%-18s%22s%11.1f%%\n" (lang_tag w) (Strategy.to_string s)
         ovh)
+    rows
+
+(* --- Telemetry overhead (BENCH_telemetry.json) ----------------------------------- *)
+
+(* Same workload and strategy, one run with the telemetry registry
+   enabled and one with it disabled.  The simulated columns (cycles,
+   check executions seen by the registry) are deterministic: probes
+   cost no simulated cycles, so the cycle counts of the two rows are
+   identical by construction and the registry only changes what the
+   host pays.  That host cost — simulated MIPS — is wall-clock and so
+   goes to [--json] (BENCH_telemetry.json), never to stdout; the
+   acceptance bound is that the disabled-registry MIPS stays within
+   noise of the PR 1 harness. *)
+let telemetry () =
+  let names = [ "023.eqntott"; "030.matrix300" ] in
+  let ws =
+    List.filter_map
+      (fun n ->
+        match Workloads.Spec.find n with
+        | Some w -> Some w
+        | None -> failwith ("telemetry: unknown workload " ^ n))
+      names
+  in
+  let cells =
+    List.concat_map (fun w -> [ (w, true); (w, false) ]) ws
+  in
+  let rows =
+    Pool.map
+      (fun ((w : Workloads.Workload.t), enabled) ->
+        let tel = Telemetry.create ~enabled () in
+        let tag = if enabled then "telemetry-on" else "telemetry-off" in
+        let r, session =
+          Runner.instrumented ~telemetry:tel ~tag
+            (Runner.options_for w Strategy.Bitmap_inline_registers)
+            w
+        in
+        let rep = Session.report session in
+        let counter name =
+          match List.assoc_opt name rep.Telemetry.r_counters with
+          | Some v -> v
+          | None -> 0
+        in
+        (w, enabled, r, counter "check_execs", counter "probe_dispatches"))
+      cells
+  in
+  Printf.printf "\n== Telemetry registry overhead (enabled vs disabled) ==\n";
+  Printf.printf "%-18s%12s%14s%14s%14s\n" "Programs" "Registry" "Cycles"
+    "CheckExecs" "ProbeDisp";
+  List.iter
+    (fun ((w : Workloads.Workload.t), enabled, (r : Runner.run), checks, probes) ->
+      Printf.printf "%-18s%12s%14d%14d%14d\n" (lang_tag w)
+        (if enabled then "on" else "off")
+        r.Runner.cycles checks probes)
     rows

@@ -8,7 +8,8 @@
      dbreak program.mc --watch counter
      dbreak program.mc --watch cfg.max_depth --opt full --strategy Cache
      dbreak program.mc --dump-asm
-     dbreak program.mc --stats *)
+     dbreak program.mc --stats
+     dbreak program.mc --watch counter --metrics metrics.prom --trace 16 *)
 
 open Cmdliner
 open Dbp
@@ -41,7 +42,7 @@ let opt_conv =
   Arg.conv (parse, print)
 
 let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_asm
-    stats fuel =
+    stats metrics trace fuel =
   try
     let source = read_file source_file in
     let options =
@@ -55,7 +56,10 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
       `Ok ()
     end
     else begin
-      let session = Session.create ~options source in
+      let telemetry = Telemetry.create ~ring_capacity:trace () in
+      Telemetry.set_tag telemetry "source"
+        (Filename.basename source_file);
+      let session = Session.create ~options ~telemetry source in
       Session.install_oracle session;
       let dbg = Debugger.create session in
       List.iter
@@ -95,6 +99,33 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
         Printf.printf "patches inserted: %d\n" c.Mrs.patches_inserted;
         Printf.printf "missed hits (oracle): %d\n" (Session.missed_hits session)
       end;
+      if trace > 0 then begin
+        let rep = Session.report session in
+        Printf.printf "--- trace (last %d of %d hits) ---\n"
+          (List.length rep.Telemetry.r_events)
+          (List.length rep.Telemetry.r_events + rep.Telemetry.r_events_dropped);
+        List.iter
+          (fun (e : Telemetry.event) ->
+            Printf.printf
+              "insn %-10d %s %-8s addr 0x%-8x pc 0x%-8x region [0x%x,0x%x) %s\n"
+              e.Telemetry.ev_insn
+              (match e.Telemetry.ev_access with
+              | Telemetry.Write -> "W"
+              | Telemetry.Read -> "R")
+              (if e.Telemetry.ev_write_type = "" then "?"
+               else e.Telemetry.ev_write_type)
+              e.Telemetry.ev_addr e.Telemetry.ev_pc e.Telemetry.ev_region_lo
+              e.Telemetry.ev_region_hi e.Telemetry.ev_region_kind)
+          rep.Telemetry.r_events
+      end;
+      (match metrics with
+      | Some path ->
+        let rep = Session.report session in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Export.to_prometheus rep))
+      | None -> ());
       `Ok ()
     end
   with
@@ -143,6 +174,16 @@ let dump_asm_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Write the telemetry report as Prometheus-style exposition \
+             text to $(docv) after the run.")
+
+let trace_arg =
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N"
+       ~doc:"Keep the last $(docv) monitor-hit events in a ring buffer \
+             and dump them after the run.")
+
 let fuel_arg =
   Arg.(value & opt int 500_000_000 & info [ "fuel" ] ~docv:"N"
        ~doc:"Instruction budget before giving up.")
@@ -165,6 +206,7 @@ let cmd =
     Term.(
       ret
         (const run_cmd $ source_arg $ watch_arg $ strategy_arg $ opt_arg
-        $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ fuel_arg))
+        $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ metrics_arg
+        $ trace_arg $ fuel_arg))
 
 let () = exit (Cmd.eval cmd)

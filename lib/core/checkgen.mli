@@ -25,6 +25,11 @@ val make_env :
 val fresh : env -> string -> string
 (** A program-unique label. *)
 
+val cache_miss_routine : Write_type.t -> string
+(** Entry label of the per-write-type segment-cache miss handler, e.g.
+    ["__dbp_cache_miss_stack"] — the label the telemetry layer probes to
+    count {!Telemetry.Cache_misses_by_type}. *)
+
 val check_items :
   env -> write_type:Write_type.t -> Sparc.Insn.t -> Sparc.Asm.item list
 (** The full check sequence for one store instruction (two lookups for

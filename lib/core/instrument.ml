@@ -45,13 +45,19 @@ type status =
 
 type site = {
   origin : int;
+  slot : int;  (* dense index into the telemetry per-site arrays *)
   width : Insn.width;
   write_type : Write_type.t;
   status : status;
   insn : Insn.t;  (* the original store, for patch stubs *)
 }
 
-type read_site = { r_origin : int; r_width : Insn.width; r_write_type : Write_type.t }
+type read_site = {
+  r_origin : int;
+  r_slot : int;
+  r_width : Insn.width;
+  r_write_type : Write_type.t;
+}
 
 type sym_stats = { matched_store_sites : int; matched_loads : int }
 
@@ -200,10 +206,14 @@ let run (options : options) (out : Minic.Codegen.output) : t =
             | Some id -> Loop_eliminated id
             | None -> Checked)
         in
-        sites := { origin = idx; width; write_type; status; insn = st } :: !sites
+        sites :=
+          { origin = idx; slot = 0; width; write_type; status; insn = st }
+          :: !sites
       | _ -> ())
     items;
-  let sites = List.rev !sites in
+  (* Slots are dense indices in program order: the telemetry layer sizes
+     its per-site exec/hit arrays off them at instrument time. *)
+  let sites = List.mapi (fun i s -> { s with slot = i }) (List.rev !sites) in
   let site_of : (int, site) Hashtbl.t = Hashtbl.create 256 in
   List.iter (fun s -> Hashtbl.replace site_of s.origin s) sites;
   let read_sites = ref [] in
@@ -215,10 +225,14 @@ let run (options : options) (out : Minic.Codegen.output) : t =
           let r_write_type =
             Write_type.classify_load ~fortran_idiom:options.fortran_idiom items idx
           in
-          read_sites := { r_origin = idx; r_width = width; r_write_type } :: !read_sites
+          read_sites :=
+            { r_origin = idx; r_slot = 0; r_width = width; r_write_type }
+            :: !read_sites
         | _ -> ())
       items;
-  let read_sites = List.rev !read_sites in
+  let read_sites =
+    List.mapi (fun i r -> { r with r_slot = i }) (List.rev !read_sites)
+  in
   let read_site_of : (int, read_site) Hashtbl.t = Hashtbl.create 256 in
   List.iter (fun r -> Hashtbl.replace read_site_of r.r_origin r) read_sites;
   (* --- emission ----------------------------------------------------------- *)

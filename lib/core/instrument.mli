@@ -50,13 +50,21 @@ type status =
 
 type site = {
   origin : int;  (** item index of the store in the original program *)
+  slot : int;
+      (** dense program-order index — the telemetry layer's per-site
+          array slot, assigned at instrument time *)
   width : Sparc.Insn.width;
   write_type : Write_type.t;
   status : status;
   insn : Sparc.Insn.t;
 }
 
-type read_site = { r_origin : int; r_width : Sparc.Insn.width; r_write_type : Write_type.t }
+type read_site = {
+  r_origin : int;
+  r_slot : int;  (** dense program-order index among read sites *)
+  r_width : Sparc.Insn.width;
+  r_write_type : Write_type.t;
+}
 
 type sym_stats = { matched_store_sites : int; matched_loads : int }
 

@@ -24,6 +24,15 @@ type counters = {
   mutable violations : int;
 }
 
+let reset_counters (c : counters) =
+  c.user_hits <- 0;
+  c.read_hits <- 0;
+  c.internal_hits <- 0;
+  c.loop_entries <- 0;
+  c.loop_triggers <- 0;
+  c.patches_inserted <- 0;
+  c.violations <- 0
+
 type t = {
   layout : Layout.t;
   plan : Instrument.t;
@@ -45,11 +54,106 @@ type t = {
   entries_by_loop : (int, int) Hashtbl.t;
   loop_check_cycles : int;
   pseudo_home : string -> [ `Global of int | `Local of string * int ] option;
+  telemetry : Telemetry.t option;
+  (* Hit → site attribution maps, built once at install time from the
+     resolved site/patch/read-site labels: parallel arrays sorted by
+     label address.  A write hit's trap pc lies inside the check
+     sequence that follows its site label (or inside its patch stub), so
+     the owning site is the one with the greatest label address <= pc; a
+     read check precedes its label, so a read hit belongs to the site
+     with the least label address >= pc. *)
+  mutable w_attr_addrs : int array;
+  mutable w_attr_slots : int array;
+  mutable w_attr_types : int array;
+  mutable r_attr_addrs : int array;
+  mutable r_attr_slots : int array;
+  mutable r_attr_types : int array;
 }
 
 let g6 = Reg.g 6
 
 let counters t = t.counters
+
+(* --- telemetry glue ----------------------------------------------------------- *)
+
+let tel_incr t c =
+  match t.telemetry with Some tel -> Telemetry.incr tel c | None -> ()
+
+(* Greatest index with [addrs.(i) <= pc]. *)
+let attr_last_le addrs pc =
+  let n = Array.length addrs in
+  if n = 0 || pc < addrs.(0) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if addrs.(mid) <= pc then lo := mid else hi := mid - 1
+    done;
+    Some !lo
+  end
+
+(* Least index with [addrs.(i) >= pc]. *)
+let attr_first_ge addrs pc =
+  let n = Array.length addrs in
+  if n = 0 || pc > addrs.(n - 1) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if addrs.(mid) >= pc then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end
+
+(* Attribute a monitor hit to its check site, bump the per-site hit
+   cell, and append a trace event.  When the pc matches no known site
+   label the hit is still conserved under [Unattributed_hits]. *)
+let tel_hit t cpu ~(access : access) ~addr ~pc (region : Region.t option) =
+  match t.telemetry with
+  | None -> ()
+  | Some tel ->
+    if Telemetry.enabled tel then begin
+      let write_type =
+        match access with
+        | Write -> (
+          match attr_last_le t.w_attr_addrs pc with
+          | Some i ->
+            Telemetry.bump_site_hit tel t.w_attr_slots.(i);
+            Telemetry.write_type_name t.w_attr_types.(i)
+          | None ->
+            Telemetry.incr tel Telemetry.Unattributed_hits;
+            "")
+        | Read -> (
+          match attr_first_ge t.r_attr_addrs pc with
+          | Some i ->
+            Telemetry.bump_read_site_hit tel t.r_attr_slots.(i);
+            Telemetry.write_type_name t.r_attr_types.(i)
+          | None ->
+            Telemetry.incr tel Telemetry.Unattributed_hits;
+            "")
+      in
+      let lo, hi, kind =
+        match region with
+        | Some r ->
+          ( r.Region.lo,
+            r.Region.hi,
+            match r.Region.kind with
+            | Region.User -> "user"
+            | Region.Internal -> "internal" )
+        | None -> (0, 0, "")
+      in
+      Telemetry.record_event tel
+        {
+          Telemetry.ev_pc = pc;
+          ev_addr = addr;
+          ev_region_lo = lo;
+          ev_region_hi = hi;
+          ev_region_kind = kind;
+          ev_access = (match access with Write -> Telemetry.Write | Read -> Telemetry.Read);
+          ev_write_type = write_type;
+          ev_insn = Cpu.instr_count cpu;
+        }
+    end
 
 let loop_entry_count t id =
   Option.value ~default:0 (Hashtbl.find_opt t.entries_by_loop id)
@@ -160,6 +264,7 @@ let insert_check t origin =
     | Some site, Some patch ->
       Hashtbl.replace t.patched origin ();
       t.counters.patches_inserted <- t.counters.patches_inserted + 1;
+      tel_incr t Telemetry.Patches_inserted;
       Cpu.patch t.cpu site (Insn.Branch { cond = Cond.A; target = Insn.Abs patch })
     | _, _ -> ()
   end
@@ -169,11 +274,23 @@ let remove_check t origin =
     match Hashtbl.find_opt t.site_addr origin, Hashtbl.find_opt t.original origin with
     | Some site, Some insn ->
       Hashtbl.remove t.patched origin;
+      tel_incr t Telemetry.Patches_removed;
       Cpu.patch t.cpu site insn
     | _, _ -> ()
   end
 
 let check_inserted t origin = Hashtbl.mem t.patched origin
+
+(* Snapshot gauges: occupancy numbers whose current value (not a sum of
+   bumps) is the interesting quantity; written unconditionally at report
+   time via {!Telemetry.set}. *)
+let record_gauges t =
+  match t.telemetry with
+  | None -> ()
+  | Some tel ->
+    Telemetry.set tel Telemetry.Seg_words_monitored
+      (Segbitmap.monitored_words t.bitmap);
+    Telemetry.set tel Telemetry.Seg_arena_bytes (Segbitmap.space_bytes t.bitmap)
 
 (* --- the service interface ------------------------------------------------------ *)
 
@@ -188,6 +305,7 @@ let create_region t region =
   | _ -> ());
   t.regions <- Region.add t.regions region;
   Segbitmap.add_region t.bitmap region;
+  tel_incr t Telemetry.Regions_created;
   if t.plan.Instrument.options.strategy = Strategy.Hash_table then
     hash_add_region t region;
   invalidate_caches t
@@ -195,6 +313,7 @@ let create_region t region =
 let delete_region t region =
   t.regions <- Region.remove t.regions region;
   Segbitmap.remove_region t.bitmap region;
+  tel_incr t Telemetry.Regions_deleted;
   if t.plan.Instrument.options.strategy = Strategy.Hash_table then
     hash_remove_region t region
 
@@ -234,11 +353,16 @@ let on_hit ?(access = Write) t cpu =
   | Some ({ Region.kind = Region.User; _ } as region) ->
     t.counters.user_hits <- t.counters.user_hits + 1;
     if access = Read then t.counters.read_hits <- t.counters.read_hits + 1;
+    tel_incr t Telemetry.User_hits;
+    if access = Read then tel_incr t Telemetry.Read_hits;
+    tel_hit t cpu ~access ~addr ~pc (Some region);
     (match t.callback with
     | Some f -> f { addr; pc; region; access }
     | None -> ())
   | Some ({ Region.kind = Region.Internal; _ } as region) ->
     t.counters.internal_hits <- t.counters.internal_hits + 1;
+    tel_incr t Telemetry.Internal_hits;
+    tel_hit t cpu ~access ~addr ~pc (Some region);
     (* An alias home changed: conservatively re-insert every check the
        region was protecting. *)
     Hashtbl.iter
@@ -258,6 +382,7 @@ let loop_of_trap t cpu = Hashtbl.find_opt t.loops (Word.to_unsigned (Cpu.get cpu
 
 let on_loop_entry t cpu =
   t.counters.loop_entries <- t.counters.loop_entries + 1;
+  tel_incr t Telemetry.Loop_entries;
   (let id = Word.to_unsigned (Cpu.get cpu (Reg.g 5)) in
    Hashtbl.replace t.entries_by_loop id
      (1 + Option.value ~default:0 (Hashtbl.find_opt t.entries_by_loop id)));
@@ -289,6 +414,7 @@ let on_loop_entry t cpu =
     in
     if triggered then begin
       t.counters.loop_triggers <- t.counters.loop_triggers + 1;
+      tel_incr t Telemetry.Loop_triggers;
       List.iter (insert_check t) plan.eliminated
     end;
     if t.plan.Instrument.options.check_aliases && plan.alias_pseudos <> [] then begin
@@ -329,11 +455,12 @@ let on_loop_exit t cpu =
 
 let on_violation t cpu =
   t.counters.violations <- t.counters.violations + 1;
+  tel_incr t Telemetry.Violations;
   ignore cpu
 
 (* --- installation -------------------------------------------------------------------- *)
 
-let install ?(protect_self = false) ~(plan : Instrument.t)
+let install ?(protect_self = false) ?telemetry ~(plan : Instrument.t)
     ~(image : Assembler.image) ~symtab cpu =
   let layout = plan.Instrument.options.layout in
   let t =
@@ -342,7 +469,7 @@ let install ?(protect_self = false) ~(plan : Instrument.t)
       plan;
       image;
       cpu;
-      bitmap = Segbitmap.create layout (Cpu.mem cpu);
+      bitmap = Segbitmap.create ?telemetry layout (Cpu.mem cpu);
       regions = Region.empty;
       enabled = false;
       callback = None;
@@ -366,6 +493,13 @@ let install ?(protect_self = false) ~(plan : Instrument.t)
         };
       loop_check_cycles = 12;
       pseudo_home = (fun p -> pseudo_home_of_symtab symtab p);
+      telemetry;
+      w_attr_addrs = [||];
+      w_attr_slots = [||];
+      w_attr_types = [||];
+      r_attr_addrs = [||];
+      r_attr_slots = [||];
+      r_attr_types = [||];
     }
   in
   (* Resolve site/patch labels and squirrel away original stores. *)
@@ -382,6 +516,44 @@ let install ?(protect_self = false) ~(plan : Instrument.t)
   List.iter
     (fun (p : Loopopt.loop_plan) -> Hashtbl.replace t.loops p.loop_id p)
     plan.Instrument.loop_plans;
+  (* Build the hit → site attribution maps (sorted label-address arrays;
+     a patched-out site's check executes in its patch stub, so both the
+     site label and the patch label map to the same slot). *)
+  (match telemetry with
+  | None -> ()
+  | Some _ ->
+    let wentries = ref [] in
+    List.iter
+      (fun (s : Instrument.site) ->
+        let wt = Write_type.index s.Instrument.write_type in
+        (match Hashtbl.find_opt t.site_addr s.Instrument.origin with
+        | Some a -> wentries := (a, s.Instrument.slot, wt) :: !wentries
+        | None -> ());
+        match Hashtbl.find_opt t.patch_addr s.Instrument.origin with
+        | Some a -> wentries := (a, s.Instrument.slot, wt) :: !wentries
+        | None -> ())
+      plan.Instrument.sites;
+    let w = Array.of_list (List.sort compare !wentries) in
+    t.w_attr_addrs <- Array.map (fun (a, _, _) -> a) w;
+    t.w_attr_slots <- Array.map (fun (_, s, _) -> s) w;
+    t.w_attr_types <- Array.map (fun (_, _, wt) -> wt) w;
+    let rentries = ref [] in
+    List.iter
+      (fun (r : Instrument.read_site) ->
+        match
+          Assembler.addr_of_label image
+            (Instrument.read_site_label r.Instrument.r_origin)
+        with
+        | Some a ->
+          rentries :=
+            (a, r.Instrument.r_slot, Write_type.index r.Instrument.r_write_type)
+            :: !rentries
+        | None -> ())
+      plan.Instrument.read_sites;
+    let r = Array.of_list (List.sort compare !rentries) in
+    t.r_attr_addrs <- Array.map (fun (a, _, _) -> a) r;
+    t.r_attr_slots <- Array.map (fun (_, s, _) -> s) r;
+    t.r_attr_types <- Array.map (fun (_, _, wt) -> wt) r);
   (* §2.1: the MRS protects the integrity of its own structures with
      internal monitored regions (the shadow stack and the hash-table
      bucket array; the segment table itself is too large to cover and a
@@ -419,6 +591,11 @@ let install ?(protect_self = false) ~(plan : Instrument.t)
           match covered addr with
           | Some ({ Region.kind = Region.User; _ } as region) ->
             t.counters.user_hits <- t.counters.user_hits + 1;
+            tel_incr t Telemetry.User_hits;
+            (* The watchpoint comparison fires on the store itself, whose
+               pc is exactly its site label's address. *)
+            tel_hit t cpu ~access:Write ~addr:(Word.to_unsigned addr)
+              ~pc:(Cpu.pc cpu) (Some region);
             (match t.callback with
             | Some f ->
               f { addr = Word.to_unsigned addr; pc = Cpu.pc cpu;

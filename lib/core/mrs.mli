@@ -38,6 +38,7 @@ type t
 
 val install :
   ?protect_self:bool ->
+  ?telemetry:Telemetry.t ->
   plan:Instrument.t ->
   image:Sparc.Assembler.image ->
   symtab:Sparc.Symtab.t ->
@@ -46,7 +47,14 @@ val install :
 (** Install trap handlers and initialize reserved registers.  The MRS
     starts disabled.  With [protect_self], internal monitored regions
     cover the MRS's own in-memory structures (§2.1); stray program
-    writes into them surface as [internal_hits]. *)
+    writes into them surface as [internal_hits].
+
+    With [telemetry], every service-interface action and monitor hit is
+    mirrored into the registry: hits are attributed back to their check
+    site (by binary search over the site/patch/read-site label
+    addresses) and bump that slot's hit cell, a trace event is appended
+    to the registry's ring, and region/patch/loop/violation counters
+    are kept alongside {!counters}. *)
 
 val create_region : t -> Region.t -> unit
 (** @raise Region.Invalid on overlap or misalignment. *)
@@ -75,6 +83,15 @@ val remove_check : t -> int -> unit
 val check_inserted : t -> int -> bool
 
 val counters : t -> counters
+
+val reset_counters : counters -> unit
+(** Zero every field — for reusing a session across measurement
+    phases. *)
+
+val record_gauges : t -> unit
+(** Write the occupancy gauges ({!Telemetry.Seg_words_monitored},
+    {!Telemetry.Seg_arena_bytes}) into the installed telemetry registry;
+    no-op without one.  Call just before taking a report. *)
 
 val loop_entry_count : t -> int -> int
 (** Dynamic executions of a loop's pre-header check. *)

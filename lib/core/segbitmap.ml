@@ -16,10 +16,17 @@ type t = {
   mem : Memory.t;
   mutable next_segment : int;
   counts : (int, int) Hashtbl.t;  (* segment number -> monitored words *)
+  telemetry : Telemetry.t option;
 }
 
-let create layout mem =
-  { layout; mem; next_segment = layout.Layout.segments_base; counts = Hashtbl.create 64 }
+let create ?telemetry layout mem =
+  {
+    layout;
+    mem;
+    next_segment = layout.Layout.segments_base;
+    counts = Hashtbl.create 64;
+    telemetry;
+  }
 
 let entry_addr t addr = Layout.table_entry_addr t.layout addr
 
@@ -33,6 +40,9 @@ let segment_ptr t addr =
     let ptr = t.next_segment in
     t.next_segment <- t.next_segment + Layout.segment_bitmap_bytes t.layout;
     Memory.write_word t.mem ea (ptr lor (entry land 1));
+    (match t.telemetry with
+    | Some tel -> Telemetry.incr tel Telemetry.Seg_segments_allocated
+    | None -> ());
     ptr
   end
 
@@ -95,5 +105,7 @@ let segment_monitored t addr =
   entry land 1 <> 0
 
 let allocated_segments t = Hashtbl.length t.counts
+
+let monitored_words t = Hashtbl.fold (fun _ c acc -> acc + c) t.counts 0
 
 let space_bytes t = t.next_segment - t.layout.Layout.segments_base

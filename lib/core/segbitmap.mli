@@ -10,7 +10,9 @@
 
 type t
 
-val create : Layout.t -> Machine.Memory.t -> t
+val create : ?telemetry:Telemetry.t -> Layout.t -> Machine.Memory.t -> t
+(** [telemetry] (when given) counts lazy segment allocations on
+    [Telemetry.Seg_segments_allocated]. *)
 
 val add_region : t -> Region.t -> unit
 val remove_region : t -> Region.t -> unit
@@ -23,6 +25,10 @@ val segment_monitored : t -> int -> bool
 (** The unmonitored-flag test (low bit of the segment table entry). *)
 
 val allocated_segments : t -> int
+
+val monitored_words : t -> int
+(** Occupancy snapshot: monitored words across all segments (the
+    [Telemetry.Seg_words_monitored] gauge). *)
 
 val space_bytes : t -> int
 (** Bytes of bitmap segment arena in use (for the ~3% space figure). *)

@@ -11,13 +11,19 @@ type t = {
   symtab : Symtab.t;
   cpu : Cpu.t;
   mrs : Mrs.t;
-  site_exec : (int, int ref) Hashtbl.t;
+  telemetry : Telemetry.t;
+  site_slot : (int, int) Hashtbl.t;  (* origin -> telemetry array slot *)
   mutable expected_hits : (int * int) list;  (* oracle: addr, access pc *)
   functions : string list;
 }
 
+let site_kind_of_status = function
+  | Instrument.Checked -> Telemetry.site_kind_checked
+  | Instrument.Sym_eliminated _ -> Telemetry.site_kind_sym
+  | Instrument.Loop_eliminated _ -> Telemetry.site_kind_loop
+
 let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false)
-    source =
+    ?telemetry source =
   let out = Minic.Compile.compile source in
   let plan = Instrument.run options out in
   let image =
@@ -32,33 +38,91 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
   in
   let cpu = Cpu.create ?config image in
   Cpu.install_basic_services cpu;
-  let mrs = Mrs.install ~protect_self:protect_mrs ~plan ~image ~symtab cpu in
-  let site_exec = Hashtbl.create 256 in
+  let telemetry =
+    match telemetry with Some tel -> tel | None -> Telemetry.create ()
+  in
+  Telemetry.set_tag telemetry "strategy" (Strategy.tag options.Instrument.strategy);
+  (* Size the per-site arrays off the plan: slot [i] is the i-th site in
+     program order — the probes below are the only writers of the exec
+     cells, so the fast path is one array increment. *)
+  Telemetry.alloc_sites telemetry
+    (Array.of_list
+       (List.map
+          (fun (s : Instrument.site) ->
+            (Write_type.index s.write_type, site_kind_of_status s.status))
+          plan.Instrument.sites));
+  Telemetry.alloc_read_sites telemetry
+    (Array.of_list
+       (List.map
+          (fun (r : Instrument.read_site) -> Write_type.index r.r_write_type)
+          plan.Instrument.read_sites));
+  let mrs =
+    Mrs.install ~protect_self:protect_mrs ~telemetry ~plan ~image ~symtab cpu
+  in
+  let site_slot = Hashtbl.create 256 in
   List.iter
     (fun (s : Instrument.site) ->
+      Hashtbl.replace site_slot s.origin s.slot;
       match Assembler.addr_of_label image (Instrument.site_label s.origin) with
       | Some addr ->
-        let counter = ref 0 in
-        Hashtbl.replace site_exec s.origin counter;
-        Cpu.add_probe cpu addr (fun _ -> incr counter)
+        let slot = s.slot in
+        Cpu.add_probe cpu addr (fun _ -> Telemetry.bump_site telemetry slot)
       | None -> ())
     plan.Instrument.sites;
+  List.iter
+    (fun (r : Instrument.read_site) ->
+      match
+        Assembler.addr_of_label image (Instrument.read_site_label r.r_origin)
+      with
+      | Some addr ->
+        let slot = r.r_slot in
+        Cpu.add_probe cpu addr (fun _ -> Telemetry.bump_read_site telemetry slot)
+      | None -> ())
+    plan.Instrument.read_sites;
+  (* Segment-cache miss accounting: probe the per-write-type miss
+     handlers (and their read variants) so Figure 3 and the telemetry
+     reports draw from one counter.  Probes cost no simulated cycles,
+     so every table number is unchanged. *)
+  if Strategy.uses_segment_caches options.Instrument.strategy then
+    List.iter
+      (fun wt ->
+        let idx = Write_type.index wt in
+        List.iter
+          (fun label ->
+            match Assembler.addr_of_label image label with
+            | Some addr ->
+              Cpu.add_probe cpu addr (fun _ ->
+                  Telemetry.incr_typed telemetry Telemetry.Cache_misses_by_type
+                    idx)
+            | None -> ())
+          [
+            Checkgen.cache_miss_routine wt;
+            Checkgen.cache_miss_routine wt ^ "_rd";
+          ])
+      Write_type.all;
   {
     plan;
     image;
     symtab;
     cpu;
     mrs;
-    site_exec;
+    telemetry;
+    site_slot;
     expected_hits = [];
     functions = plan.Instrument.functions;
   }
 
 let site_executions t origin =
-  match Hashtbl.find_opt t.site_exec origin with Some r -> !r | None -> 0
+  match Hashtbl.find_opt t.site_slot origin with
+  | Some slot -> Telemetry.site_exec t.telemetry slot
+  | None -> 0
 
 let total_site_executions t =
-  Hashtbl.fold (fun _ r acc -> acc + !r) t.site_exec 0
+  let acc = ref 0 in
+  for slot = 0 to Telemetry.n_sites t.telemetry - 1 do
+    acc := !acc + Telemetry.site_exec t.telemetry slot
+  done;
+  !acc
 
 let eliminated_site_executions t =
   List.fold_left
@@ -142,3 +206,16 @@ let missed_hits t =
   max 0 (List.length t.expected_hits - actual)
 
 let stats t = Cpu.stats t.cpu
+
+let report t =
+  (* Fold in the snapshot gauges and interpreter dispatch counts before
+     freezing: these are current-value reads, not bump streams. *)
+  Mrs.record_gauges t.mrs;
+  Telemetry.set t.telemetry Telemetry.Probe_dispatches
+    (Cpu.probe_dispatches t.cpu);
+  Telemetry.set t.telemetry Telemetry.Store_hook_dispatches
+    (Cpu.store_hook_dispatches t.cpu);
+  Telemetry.set t.telemetry Telemetry.Load_hook_dispatches
+    (Cpu.load_hook_dispatches t.cpu);
+  Telemetry.set t.telemetry Telemetry.Trap_dispatches (Cpu.trap_count t.cpu);
+  Telemetry.report t.telemetry

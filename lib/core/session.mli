@@ -8,7 +8,9 @@ type t = {
   symtab : Sparc.Symtab.t;  (** resolved against the instrumented image *)
   cpu : Machine.Cpu.t;
   mrs : Mrs.t;
-  site_exec : (int, int ref) Hashtbl.t;
+  telemetry : Telemetry.t;
+  site_slot : (int, int) Hashtbl.t;
+      (** write-site origin → telemetry array slot *)
   mutable expected_hits : (int * int) list;
   functions : string list;
 }
@@ -17,10 +19,14 @@ val create :
   ?config:Machine.Cpu.config ->
   ?options:Instrument.options ->
   ?protect_mrs:bool ->
+  ?telemetry:Telemetry.t ->
   string ->
   t
 (** Build a session from mini-C source.  [protect_mrs] arms the MRS's
-    self-protection regions (§2.1).
+    self-protection regions (§2.1).  [telemetry] supplies the registry
+    backing the per-site counters (default: a fresh enabled one); its
+    site arrays are (re)allocated to this plan's shape, a ["strategy"]
+    tag is attached, and the session's probes/MRS bump it from then on.
     @raise Failure if the instrumented program fails to assemble.
     @raise Minic.Compile.Error on compilation errors. *)
 
@@ -44,3 +50,8 @@ val install_oracle : t -> unit
 val missed_hits : t -> int
 
 val stats : t -> Machine.Cpu.stats
+
+val report : t -> Telemetry.report
+(** Freeze the session's registry into a report, first folding in the
+    snapshot gauges (segment-arena occupancy) and the interpreter's
+    probe/hook/trap dispatch counts. *)

@@ -35,6 +35,20 @@ let of_string = function
   | "HardwareWatch4" -> Hardware_watch 4
   | s -> invalid_arg (Printf.sprintf "Strategy.of_string: %S" s)
 
+(* Stable lowercase snake_case identifier for report tags and metric
+   labels: unlike [to_string] it never needs quoting or sanitizing in
+   the Prometheus exposition format. *)
+let tag = function
+  | Nocheck -> "none"
+  | Bitmap -> "bitmap"
+  | Bitmap_inline -> "bitmap_inline"
+  | Bitmap_inline_registers -> "bitmap_inline_registers"
+  | Cache -> "cache"
+  | Cache_inline -> "cache_inline"
+  | Hash_table -> "hash_table"
+  | Trap_check -> "trap_check"
+  | Hardware_watch n -> Printf.sprintf "hardware_watch_%d" n
+
 let uses_segment_caches = function
   | Cache | Cache_inline -> true
   | Nocheck | Bitmap | Bitmap_inline | Bitmap_inline_registers | Hash_table

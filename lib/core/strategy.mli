@@ -37,5 +37,11 @@ val all : t list
 
 val to_string : t -> string
 val of_string : string -> t
+
+val tag : t -> string
+(** Stable lowercase snake_case identifier (e.g.
+    ["bitmap_inline_registers"]) for telemetry report tags and metric
+    labels. *)
+
 val uses_segment_caches : t -> bool
 val pp : Format.formatter -> t -> unit

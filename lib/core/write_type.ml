@@ -17,6 +17,11 @@ let cache_reg = function
 
 let all = [ Bss; Stack; Heap; Bss_var ]
 
+(* Stable id used to index the telemetry layer's 4-wide per-write-type
+   counter arrays ({!Telemetry.n_write_types}); must stay aligned with
+   [Telemetry.write_type_name]. *)
+let index = function Bss -> 0 | Stack -> 1 | Heap -> 2 | Bss_var -> 3
+
 (* Walk backwards from [idx] to find the in-block definition of [r];
    stops at labels, branches and calls.  Returns the defining position
    so chained lookups continue from there. *)

@@ -11,6 +11,11 @@ val to_string : t -> string
 val cache_reg : t -> Sparc.Reg.t
 val all : t list
 
+val index : t -> int
+(** Stable id 0–3 (BSS, STACK, HEAP, BSS-VAR) indexing the telemetry
+    layer's per-write-type counter slots; [Telemetry.write_type_name
+    (index wt)] agrees with [to_string wt]. *)
+
 val classify : ?fortran_idiom:bool -> Sparc.Asm.item array -> int -> t
 (** Classify the store at an item index by scanning its basic block
     backwards for the address base's definition.

@@ -44,6 +44,15 @@ type t = {
   mutable nstores : int;
   mutable nbranches : int;
   mutable ntraps : int;
+  (* Dispatch counters for the observability layer: how many times the
+     probe slow path ran and how many hook invocations the memory
+     operations performed.  Deliberately *not* part of {!stats} — the
+     fuzz harness checks that a probe-free fast run and a probed slow
+     run produce identical [stats], and dispatch counts necessarily
+     differ between them. *)
+  mutable nprobe_dispatches : int;
+  mutable nstore_hook_dispatches : int;
+  mutable nload_hook_dispatches : int;
   text : Insn.t array;
   text_base : int;
   traps : (int, t -> unit) Hashtbl.t;
@@ -220,12 +229,14 @@ let double_align t ea = if ea land 7 <> 0 then faultf t "misaligned double acces
 
 let run_store_hooks t ea width =
   let hs = t.store_hooks in
+  t.nstore_hook_dispatches <- t.nstore_hook_dispatches + t.nstore_hooks;
   for i = 0 to t.nstore_hooks - 1 do
     (Array.unsafe_get hs i) t ~addr:ea ~width
   done
 
 let run_load_hooks t ea width =
   let hs = t.load_hooks in
+  t.nload_hook_dispatches <- t.nload_hook_dispatches + t.nload_hooks;
   for i = 0 to t.nload_hooks - 1 do
     (Array.unsafe_get hs i) t ~addr:ea ~width
   done
@@ -634,6 +645,9 @@ let create ?(config = default_config) (image : Assembler.image) =
       nstores = 0;
       nbranches = 0;
       ntraps = 0;
+      nprobe_dispatches = 0;
+      nstore_hook_dispatches = 0;
+      nload_hook_dispatches = 0;
       text;
       text_base = image.text_base;
       traps = Hashtbl.create 16;
@@ -671,6 +685,7 @@ let step t =
     (Array.unsafe_get t.code idx) t
   end
   else begin
+    t.nprobe_dispatches <- t.nprobe_dispatches + Array.length ps;
     Array.iter (fun f -> f t) ps;
     (* A probe may patch text or move the pc (breakpoint callbacks);
        re-fetch through the checked path and fall back to the generic
@@ -808,6 +823,12 @@ type stats = {
   cache_misses : int;
   window_spills : int;
 }
+
+let instr_count t = t.ninstrs
+let probe_dispatches t = t.nprobe_dispatches
+let store_hook_dispatches t = t.nstore_hook_dispatches
+let load_hook_dispatches t = t.nload_hook_dispatches
+let trap_count t = t.ntraps
 
 let stats t =
   {

@@ -130,3 +130,24 @@ type stats = {
 }
 
 val stats : t -> stats
+
+(** {2 Dispatch counters}
+
+    Observability-only counters, exposed separately from {!stats}:
+    the differential fuzz harness demands that a probe-free fast run and
+    a probed slow run agree on [stats], and these necessarily differ. *)
+
+val instr_count : t -> int
+(** Instructions executed so far ([(stats t).instrs] without building
+    the record — cheap enough for per-hit trace events). *)
+
+val probe_dispatches : t -> int
+(** Total probe invocations (slow-path steps count each probe fired). *)
+
+val store_hook_dispatches : t -> int
+(** Total store-hook invocations across all executed stores. *)
+
+val load_hook_dispatches : t -> int
+
+val trap_count : t -> int
+(** Executed [ta] instructions ([(stats t).traps]). *)

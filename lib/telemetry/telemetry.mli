@@ -1,0 +1,202 @@
+(** Zero-dependency metrics and tracing registry for the MRS stack.
+
+    A registry is a set of preallocated integer counters — scalar
+    counters, write-type-keyed counters (4-wide arrays indexed by the
+    BSS/STACK/HEAP/BSS-VAR write-type id), and per-check-site
+    execution/hit arrays sized at instrument time — plus a fixed-size
+    ring buffer of monitor-hit events.  Every bump is a single array
+    increment guarded by the registry's [enabled] flag, mirroring the
+    paper's reserved {e disabled} register: with telemetry off, the
+    instrumented fast paths pay one boolean test and nothing else.
+
+    Reports ({!report}) are immutable snapshots rendered by {!Export}
+    as human text, versioned JSON ({!schema_version}) or
+    Prometheus-style metrics.  Reports from independent registries
+    (e.g. one per benchmark worker domain) merge deterministically:
+    counter addition is commutative, so a merged report does not depend
+    on domain scheduling. *)
+
+(** {1 Counters} *)
+
+type counter =
+  | Check_execs           (** dynamic write-check site executions *)
+  | Read_check_execs      (** dynamic read-check site executions (§5) *)
+  | Sym_eliminated_execs  (** executions of symbol-eliminated sites (§4.2) *)
+  | Loop_eliminated_execs (** executions of loop-eliminated sites (§4.3) *)
+  | User_hits
+  | Read_hits             (** subset of [User_hits] raised by read checks *)
+  | Internal_hits
+  | Unattributed_hits     (** hits whose pc matched no known check site *)
+  | Loop_entries
+  | Loop_triggers
+  | Patches_inserted
+  | Patches_removed
+  | Regions_created
+  | Regions_deleted
+  | Violations
+  | Seg_segments_allocated  (** segmented-bitmap segments ever allocated *)
+  | Seg_words_monitored     (** occupancy snapshot: monitored words *)
+  | Seg_arena_bytes         (** segment-arena bytes in use *)
+  | Sites_total             (** static: write sites in the plan *)
+  | Sites_checked
+  | Sites_sym_eliminated
+  | Sites_loop_eliminated
+  | Probe_dispatches        (** interpreter probe invocations *)
+  | Store_hook_dispatches
+  | Load_hook_dispatches
+  | Trap_dispatches
+
+val all_counters : counter list
+(** Canonical order used by every report and export format. *)
+
+val counter_name : counter -> string
+(** Stable snake_case identifier, e.g. ["user_hits"]. *)
+
+val counter_of_name : string -> counter option
+
+(** Write-type-keyed counters; each holds one slot per write-type id
+    0–3 ({!write_type_name}). *)
+type typed =
+  | Checks_by_type
+  | Read_checks_by_type
+  | Hits_by_type
+  | Read_hits_by_type
+  | Cache_misses_by_type  (** segment-cache misses (§3.1) *)
+
+val all_typed : typed list
+val typed_name : typed -> string
+val typed_of_name : string -> typed option
+
+val n_write_types : int
+(** 4: BSS, STACK, HEAP, BSS-VAR (§3.1). *)
+
+val write_type_name : int -> string
+(** @raise Invalid_argument outside [0, n_write_types). *)
+
+(** {1 Hit-trace events} *)
+
+type access = Write | Read
+
+type event = {
+  ev_pc : int;
+  ev_addr : int;
+  ev_region_lo : int;
+  ev_region_hi : int;
+  ev_region_kind : string;  (** ["user"] or ["internal"] *)
+  ev_access : access;
+  ev_write_type : string;   (** [""] when unattributed *)
+  ev_insn : int;            (** instruction count at the hit *)
+}
+
+(** {1 Registries} *)
+
+type t
+
+val create : ?enabled:bool -> ?ring_capacity:int -> unit -> t
+(** A fresh registry; [ring_capacity] defaults to [0] (tracing off,
+    pushes only counted). *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** The global disabled flag: with [false], every bump and event record
+    is a no-op (one boolean test). *)
+
+val set_tag : t -> string -> string -> unit
+(** Attach report metadata (workload, strategy, …); keys are unique and
+    reported in sorted order. *)
+
+val incr : t -> counter -> unit
+val add : t -> counter -> int -> unit
+
+val set : t -> counter -> int -> unit
+(** Unconditional (ignores [enabled]) — for snapshot gauges like
+    {!Seg_words_monitored} written once at report time. *)
+
+val get : t -> counter -> int
+(** The raw scalar cell; derived components (per-site sums) are folded
+    in by {!report}, not here. *)
+
+val incr_typed : t -> typed -> int -> unit
+(** [incr_typed t c wt] bumps write-type [wt]'s slot of [c]. *)
+
+val get_typed : t -> typed -> int array
+(** Copy of the raw 4-wide array. *)
+
+(** {2 Per-site arrays (sized at instrument time)} *)
+
+val site_kind_checked : int
+val site_kind_sym : int
+val site_kind_loop : int
+
+val alloc_sites : t -> (int * int) array -> unit
+(** [alloc_sites t spec] sizes the write-site arrays: slot [i] has
+    [(write_type_id, site_kind)] [spec.(i)].  Resets previous site
+    counts. *)
+
+val alloc_read_sites : t -> int array -> unit
+(** Same for read sites; the spec holds write-type ids. *)
+
+val n_sites : t -> int
+val n_read_sites : t -> int
+
+val bump_site : t -> int -> unit
+(** One increment on the check fast path; no-op when disabled. *)
+
+val bump_site_hit : t -> int -> unit
+val bump_read_site : t -> int -> unit
+val bump_read_site_hit : t -> int -> unit
+
+val site_exec : t -> int -> int
+val site_hits : t -> int -> int
+
+(** {2 Tracing} *)
+
+val set_ring_capacity : t -> int -> unit
+(** Replace the ring with a fresh one of the given capacity. *)
+
+val record_event : t -> event -> unit
+val events : t -> event list
+val events_dropped : t -> int
+
+(** {1 Reports} *)
+
+val schema_version : string
+(** ["dbp-telemetry/1"] — bumped on any layout change. *)
+
+type site_report = {
+  sr_site : int;
+  sr_write_type : string;
+  sr_kind : string;  (** ["checked"] / ["sym"] / ["loop"] / ["read"] *)
+  sr_exec : int;
+  sr_hits : int;
+}
+
+type report = {
+  r_schema : string;
+  r_tags : (string * string) list;            (** sorted by key *)
+  r_counters : (string * int) list;           (** canonical order *)
+  r_typed : (string * (string * int) list) list;
+  r_sites : site_report list;
+  r_read_sites : site_report list;
+  r_events : event list;
+  r_events_dropped : int;
+}
+
+val report : t -> report
+(** Snapshot: scalar cells plus the derived per-site sums (total and
+    eliminated check executions, hits by write type, static site
+    counts). *)
+
+val merge : report list -> report
+(** Deterministic aggregate: counters and typed counters sum pointwise
+    (by name, first-seen order — canonical when every input is
+    canonical); tags keep only the key/value pairs common to all
+    inputs; per-site detail and events are dropped (their totals
+    survive in the counters); [r_events_dropped] adds every input's
+    retained and dropped events.  [merge []] is an empty report. *)
+
+val absorb : t -> report -> unit
+(** Fold a report's counters into this registry's scalar cells (the
+    per-domain sink used by the benchmark pool).  Unknown counter names
+    are ignored.  Ignores [enabled]. *)

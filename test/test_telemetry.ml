@@ -1,0 +1,416 @@
+open Dbp
+
+(* Tests for the telemetry subsystem: the ring buffer, the report
+   export round-trip, counter parity between the registry and the
+   session/MRS recounts, and the repo-hygiene guard. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let counter rep name =
+  match List.assoc_opt name rep.Telemetry.r_counters with
+  | Some v -> v
+  | None -> Alcotest.failf "report has no counter %S" name
+
+(* --- ring buffer ------------------------------------------------------------ *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  check_int "empty length" 0 (Ring.length r);
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  check_int "length" 3 (Ring.length r);
+  check_int "pushed" 3 (Ring.pushed r);
+  check_int "dropped" 0 (Ring.dropped r);
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ] (Ring.to_list r)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:3 in
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  check_int "length capped" 3 (Ring.length r);
+  check_int "pushed counts everything" 10 (Ring.pushed r);
+  check_int "dropped = pushed - length" 7 (Ring.dropped r);
+  Alcotest.(check (list int)) "last three, oldest first" [ 8; 9; 10 ]
+    (Ring.to_list r);
+  Ring.clear r;
+  check_int "clear resets" 0 (Ring.pushed r);
+  Alcotest.(check (list int)) "cleared" [] (Ring.to_list r)
+
+let test_ring_zero_capacity () =
+  let r = Ring.create ~capacity:0 in
+  for i = 1 to 5 do
+    Ring.push r i
+  done;
+  check_int "holds nothing" 0 (Ring.length r);
+  check_int "still counts pushes" 5 (Ring.pushed r);
+  check_int "all dropped" 5 (Ring.dropped r);
+  check_bool "negative capacity rejected" true
+    (match Ring.create ~capacity:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- JSON round-trip --------------------------------------------------------- *)
+
+(* A registry exercised enough that every report section is non-trivial:
+   tags, scalar counters, typed counters, sites, read sites, events and
+   a non-zero dropped count. *)
+let busy_report () =
+  let t = Telemetry.create ~ring_capacity:2 () in
+  Telemetry.set_tag t "workload" "unit \"test\"\n";
+  Telemetry.set_tag t "strategy" "bitmap";
+  Telemetry.incr t Telemetry.User_hits;
+  Telemetry.add t Telemetry.Regions_created 3;
+  Telemetry.incr_typed t Telemetry.Cache_misses_by_type 1;
+  Telemetry.alloc_sites t
+    [| (0, Telemetry.site_kind_checked); (1, Telemetry.site_kind_sym) |];
+  Telemetry.alloc_read_sites t [| 2 |];
+  Telemetry.bump_site t 0;
+  Telemetry.bump_site t 0;
+  Telemetry.bump_site_hit t 0;
+  Telemetry.bump_read_site t 0;
+  for i = 0 to 2 do
+    Telemetry.record_event t
+      {
+        Telemetry.ev_pc = 0x10000 + i;
+        ev_addr = 0x400000 + (4 * i);
+        ev_region_lo = 0x400000;
+        ev_region_hi = 0x400010;
+        ev_region_kind = "user";
+        ev_access = (if i = 1 then Telemetry.Read else Telemetry.Write);
+        ev_write_type = "BSS";
+        ev_insn = 100 * i;
+      }
+  done;
+  Telemetry.report t
+
+let test_json_round_trip () =
+  let rep = busy_report () in
+  let s = Export.to_json_string rep in
+  let rep' = Export.of_json_string s in
+  check_bool "report survives JSON round-trip" true (rep = rep');
+  (* Pretty-printing parses back to the same value too. *)
+  let pretty = Export.to_json_string ~indent:2 rep in
+  check_bool "pretty round-trip" true (Export.of_json_string pretty = rep);
+  check_bool "schema recorded" true
+    (rep.Telemetry.r_schema = Telemetry.schema_version)
+
+let test_json_rejects_bad_schema () =
+  let rep = busy_report () in
+  let broken =
+    match Export.to_json rep with
+    | Export.Obj fields ->
+      Export.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "schema" then (k, Export.Str "dbp-telemetry/999")
+             else (k, v))
+           fields)
+    | _ -> Alcotest.fail "report JSON is not an object"
+  in
+  check_bool "wrong schema rejected" true
+    (match Export.of_json broken with
+    | exception Export.Parse_error _ -> true
+    | _ -> false)
+
+let test_merge_deterministic () =
+  let mk hits regions =
+    let t = Telemetry.create () in
+    Telemetry.set_tag t "strategy" "bitmap";
+    Telemetry.add t Telemetry.User_hits hits;
+    Telemetry.add t Telemetry.Regions_created regions;
+    Telemetry.report t
+  in
+  let a = mk 2 1 and b = mk 5 0 and c = mk 1 4 in
+  let m1 = Telemetry.merge [ a; b; c ] and m2 = Telemetry.merge [ c; a; b ] in
+  check_bool "merge is order-independent" true (m1 = m2);
+  check_int "counters sum" 8 (counter m1 "user_hits");
+  check_int "regions sum" 5 (counter m1 "regions_created");
+  check_bool "common tags survive" true
+    (List.assoc_opt "strategy" m1.Telemetry.r_tags = Some "bitmap")
+
+(* --- counter parity: registry vs session/MRS recounts ------------------------ *)
+
+let sum_site_hits rep =
+  List.fold_left
+    (fun acc (s : Telemetry.site_report) -> acc + s.Telemetry.sr_hits)
+    0 rep.Telemetry.r_sites
+  + List.fold_left
+      (fun acc (s : Telemetry.site_report) -> acc + s.Telemetry.sr_hits)
+      0 rep.Telemetry.r_read_sites
+
+let parity_checks (session : Session.t) =
+  let rep = Session.report session in
+  let c = Mrs.counters session.Session.mrs in
+  check_int "check_execs = session recount"
+    (Session.total_site_executions session)
+    (counter rep "check_execs");
+  check_int "user_hits mirror" c.Mrs.user_hits (counter rep "user_hits");
+  check_int "read_hits mirror" c.Mrs.read_hits (counter rep "read_hits");
+  check_int "internal_hits mirror" c.Mrs.internal_hits
+    (counter rep "internal_hits");
+  check_int "loop_entries mirror" c.Mrs.loop_entries
+    (counter rep "loop_entries");
+  check_int "patches mirror" c.Mrs.patches_inserted
+    (counter rep "patches_inserted");
+  (* Conservation: every hit lands on exactly one site, or is counted
+     unattributed — never both, never twice. *)
+  check_int "hit attribution conserves totals"
+    (c.Mrs.user_hits + c.Mrs.internal_hits)
+    (sum_site_hits rep + counter rep "unattributed_hits");
+  rep
+
+(* matrix300, with its output matrix watched: per-site check and hit
+   counts in the telemetry report must match the MRS counter totals
+   exactly (the acceptance check of this PR). *)
+let test_matrix300_parity () =
+  let w =
+    match Workloads.Spec.find "030.matrix300" with
+    | Some w -> w
+    | None -> Alcotest.fail "030.matrix300 missing"
+  in
+  let session = Session.create w.Workloads.Workload.source in
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg "c");
+  let code, _ = Session.run ~fuel:50_000_000 session in
+  (match w.Workloads.Workload.expected_exit with
+  | Some e -> check_int "exit code" e code
+  | None -> ());
+  let rep = parity_checks session in
+  let c = Mrs.counters session.Session.mrs in
+  check_bool "watch produced hits" true (c.Mrs.user_hits > 0);
+  check_int "no unattributed hits" 0 (counter rep "unattributed_hits")
+
+(* Optimized + read-monitored run: eliminated sites, patches, loop
+   machinery and read hits all flowing through the same attribution. *)
+let test_optimized_readwrite_parity () =
+  let src =
+    {|
+int g[32];
+int total;
+int main() {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < 32; i = i + 1) { g[i] = i * 3; }
+  for (i = 0; i < 32; i = i + 1) { s = s + g[i]; }
+  total = s;
+  return total & 255;
+}
+|}
+  in
+  let options =
+    { Instrument.default_options with opt = Instrument.O_full;
+      monitor_reads = true }
+  in
+  let session = Session.create ~options src in
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg "g");
+  let _code, _ = Session.run ~fuel:5_000_000 session in
+  let rep = parity_checks session in
+  let c = Mrs.counters session.Session.mrs in
+  check_bool "saw read hits" true (c.Mrs.read_hits > 0);
+  (* read_hits is a subset of user_hits, counted exactly once: write
+     hits (attributed to write sites) and read hits partition the user
+     total. *)
+  check_bool "read subset" true (c.Mrs.read_hits <= c.Mrs.user_hits);
+  let write_site_hits =
+    List.fold_left
+      (fun acc (s : Telemetry.site_report) -> acc + s.Telemetry.sr_hits)
+      0 rep.Telemetry.r_sites
+  in
+  let read_site_hits =
+    List.fold_left
+      (fun acc (s : Telemetry.site_report) -> acc + s.Telemetry.sr_hits)
+      0 rep.Telemetry.r_read_sites
+  in
+  check_int "read hits attributed to read sites" c.Mrs.read_hits
+    read_site_hits;
+  check_int "write + read partition user hits (none double-counted)"
+    (c.Mrs.user_hits + c.Mrs.internal_hits)
+    (write_site_hits + read_site_hits + counter rep "unattributed_hits")
+
+let test_reset_counters () =
+  let src = {|
+int g;
+int main() {
+  int i;
+  for (i = 0; i < 5; i = i + 1) { g = i; }
+  return g;
+}
+|} in
+  let session = Session.create src in
+  let dbg = Debugger.create session in
+  ignore (Debugger.watch dbg "g");
+  ignore (Session.run ~fuel:1_000_000 session);
+  let c = Mrs.counters session.Session.mrs in
+  check_bool "phase one produced hits" true (c.Mrs.user_hits > 0);
+  Mrs.reset_counters c;
+  check_int "user_hits zeroed" 0 c.Mrs.user_hits;
+  check_int "read_hits zeroed" 0 c.Mrs.read_hits;
+  check_int "internal zeroed" 0 c.Mrs.internal_hits;
+  check_int "loop_entries zeroed" 0 c.Mrs.loop_entries;
+  check_int "loop_triggers zeroed" 0 c.Mrs.loop_triggers;
+  check_int "patches zeroed" 0 c.Mrs.patches_inserted;
+  check_int "violations zeroed" 0 c.Mrs.violations
+
+(* --- fuzz: registry on/off parity -------------------------------------------- *)
+
+(* The registry must be observation-only: running the same program with
+   telemetry enabled and disabled yields bit-identical simulations
+   (exit code, stats, output), the enabled counters agree with the
+   session/MRS recounts, and the disabled registry records nothing on
+   the bump paths. *)
+let prop_registry_parity =
+  QCheck.Test.make
+    ~name:"random programs: telemetry on/off parity, counters match recounts"
+    ~count:10 Test_fuzz.arb_program (fun src ->
+      let run enabled =
+        let telemetry = Telemetry.create ~enabled ~ring_capacity:8 () in
+        let options =
+          { Instrument.default_options with opt = Instrument.O_full;
+            monitor_reads = true }
+        in
+        let session = Session.create ~options ~telemetry src in
+        let dbg = Debugger.create session in
+        ignore (Debugger.watch dbg "g0");
+        ignore (Debugger.watch dbg "ga");
+        let code, out = Session.run ~fuel:20_000_000 session in
+        (code, out, Session.stats session, session)
+      in
+      let code_on, out_on, stats_on, s_on = run true in
+      let code_off, out_off, stats_off, s_off = run false in
+      let rep_on = Session.report s_on and rep_off = Session.report s_off in
+      let c_on = Mrs.counters s_on.Session.mrs in
+      code_on = code_off && out_on = out_off && stats_on = stats_off
+      && counter rep_on "check_execs" = Session.total_site_executions s_on
+      && counter rep_on "user_hits" = c_on.Mrs.user_hits
+      && counter rep_on "read_hits" = c_on.Mrs.read_hits
+      && sum_site_hits rep_on + counter rep_on "unattributed_hits"
+         = c_on.Mrs.user_hits + c_on.Mrs.internal_hits
+      (* the MRS itself behaves identically with the registry off *)
+      && (Mrs.counters s_off.Session.mrs).Mrs.user_hits = c_on.Mrs.user_hits
+      (* ... but its bump-path counters record nothing *)
+      && counter rep_off "check_execs" = 0
+      && counter rep_off "user_hits" = 0
+      && rep_off.Telemetry.r_events = [])
+
+(* A session's check sites carry probes and so execute through the
+   generic interpreter; everything else runs the pre-decoded fast path.
+   Pinning a no-op probe on *every* text pc forces the whole run down
+   the generic path — and the telemetry counts (check/hit/site arrays)
+   must come out identical, the telemetry face of the interpreter's
+   differential property.  Dispatch counters are excluded: the extra
+   probes dispatch by design. *)
+let comparable rep =
+  let drop =
+    [ "probe_dispatches"; "store_hook_dispatches"; "load_hook_dispatches" ]
+  in
+  ( List.filter (fun (n, _) -> not (List.mem n drop)) rep.Telemetry.r_counters,
+    rep.Telemetry.r_typed,
+    rep.Telemetry.r_sites,
+    rep.Telemetry.r_read_sites )
+
+let prop_fast_generic_count_parity =
+  QCheck.Test.make
+    ~name:"random programs: fast vs generic paths report identical counts"
+    ~count:10 Test_fuzz.arb_program (fun src ->
+      let run all_pcs_probed =
+        let options =
+          { Instrument.default_options with opt = Instrument.O_symbol;
+            monitor_reads = true }
+        in
+        let session = Session.create ~options src in
+        if all_pcs_probed then begin
+          let image = session.Session.image in
+          for i = 0 to Array.length image.Sparc.Assembler.text - 1 do
+            Machine.Cpu.add_probe session.Session.cpu
+              (image.Sparc.Assembler.text_base + (4 * i))
+              (fun _ -> ())
+          done
+        end;
+        let dbg = Debugger.create session in
+        ignore (Debugger.watch dbg "g0");
+        ignore (Debugger.watch dbg "ga");
+        let code, out = Session.run ~fuel:20_000_000 session in
+        (code, out, Session.stats session, Session.report session)
+      in
+      let code_f, out_f, stats_f, rep_f = run false in
+      let code_g, out_g, stats_g, rep_g = run true in
+      code_f = code_g && out_f = out_g && stats_f = stats_g
+      && comparable rep_f = comparable rep_g)
+
+(* --- repo hygiene: no build artifacts under version control ------------------- *)
+
+(* [git ls-files] from the repository root must not list anything under
+   _build/ (or .merlin-style build droppings).  Skipped when git is not
+   available — e.g. a release tarball. *)
+let test_no_build_artifacts_tracked () =
+  let tmp = Filename.temp_file "dbp_lsfiles" ".txt" in
+  let cmd =
+    Printf.sprintf "git ls-files --full-name -- ':/' > %s 2>/dev/null"
+      (Filename.quote tmp)
+  in
+  let status = Sys.command cmd in
+  if status <> 0 then ()  (* not a git checkout: nothing to check *)
+  else begin
+    let ic = open_in tmp in
+    let offenders = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         let is_build =
+           String.length line >= 7 && String.sub line 0 7 = "_build/"
+         in
+         let has_build =
+           let needle = "/_build/" in
+           let n = String.length needle and l = String.length line in
+           let rec scan i =
+             i + n <= l && (String.sub line i n = needle || scan (i + 1))
+           in
+           scan 0
+         in
+         if is_build || has_build then offenders := line :: !offenders
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Sys.remove tmp;
+    match !offenders with
+    | [] -> ()
+    | l ->
+      Alcotest.failf "build artifacts under version control: %s"
+        (String.concat ", " l)
+  end
+
+let suites =
+  [
+    ( "telemetry.ring",
+      [
+        Alcotest.test_case "basic" `Quick test_ring_basic;
+        Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+        Alcotest.test_case "zero capacity" `Quick test_ring_zero_capacity;
+      ] );
+    ( "telemetry.export",
+      [
+        Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip;
+        Alcotest.test_case "bad schema rejected" `Quick
+          test_json_rejects_bad_schema;
+        Alcotest.test_case "merge deterministic" `Quick
+          test_merge_deterministic;
+      ] );
+    ( "telemetry.parity",
+      [
+        Alcotest.test_case "matrix300 counts = MRS totals" `Quick
+          test_matrix300_parity;
+        Alcotest.test_case "optimized read/write attribution" `Quick
+          test_optimized_readwrite_parity;
+        Alcotest.test_case "Mrs.reset_counters" `Quick test_reset_counters;
+        QCheck_alcotest.to_alcotest prop_registry_parity;
+        QCheck_alcotest.to_alcotest prop_fast_generic_count_parity;
+      ] );
+    ( "repo.hygiene",
+      [
+        Alcotest.test_case "no _build files tracked" `Quick
+          test_no_build_artifacts_tracked;
+      ] );
+  ]
