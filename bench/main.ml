@@ -5,22 +5,27 @@
      dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
                                   breakeven|readwrite|ablations|smoke|
                                   telemetry|micro|all] [-j N] [--json FILE]
+                                 [--chrome-trace FILE] [--span-set]
 
    Cells run on a pool of [-j] worker domains (default: [DBP_JOBS] or
    [Domain.recommended_domain_count ()]; [-j 1] is fully serial).  The
    tables printed on stdout are byte-identical for every [-j]; timing
    (wall seconds, aggregate simulated MIPS) goes to stderr, and
    [--json] writes a per-cell report including simulated-MIPS plus the
-   merged telemetry report (dbp-telemetry/1).
+   merged telemetry report (dbp-telemetry/2).
 
    Every instrumented cell's telemetry report is absorbed into its
    worker domain's sink ([Pool.telemetry_sink]); the merged summary
    printed after the tables is a commutative sum over those sinks, so
-   it too is byte-identical for every [-j]. *)
+   it too is byte-identical for every [-j].  The same holds for the
+   audit verdict summary (commutative pointwise sum) and, with
+   [--span-set], for the phase-span name multiset; [--chrome-trace]
+   writes every domain's pipeline spans as one Perfetto-loadable
+   trace. *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|micro|all] [-j N] [--json FILE]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
   exit 2
 
 let json_escape s =
@@ -61,6 +66,16 @@ let write_json ~experiment path =
     cells;
   p "  ],\n";
   p "  \"telemetry\": %s,\n" (Export.to_json_string (Pool.merged_report ()));
+  (* Provenance-verdict counts summed over every instrumented cell's
+     audit journal (canonical order; commutative merge, so
+     [-j]-independent). *)
+  let summary = Pool.merged_audit_summary () in
+  p "  \"audit_summary\": {";
+  List.iteri
+    (fun i (name, count) ->
+      p "%s\"%s\": %d" (if i = 0 then "" else ", ") (json_escape name) count)
+    summary;
+  p "},\n";
   p "  \"aggregate\": {\"instrs\": %d, \"wall_s\": %.4f, \"simulated_mips\": %.2f}\n"
     agg_instrs agg_wall agg_mips;
   p "}\n";
@@ -69,6 +84,8 @@ let write_json ~experiment path =
 let () =
   let experiment = ref None in
   let json_path = ref None in
+  let chrome_path = ref None in
+  let span_set = ref false in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest ->
@@ -78,6 +95,12 @@ let () =
       parse rest
     | "--json" :: path :: rest ->
       json_path := Some path;
+      parse rest
+    | "--chrome-trace" :: path :: rest ->
+      chrome_path := Some path;
+      parse rest
+    | "--span-set" :: rest ->
+      span_set := true;
       parse rest
     | arg :: rest when !experiment = None && String.length arg > 0 && arg.[0] <> '-' ->
       experiment := Some arg;
@@ -116,6 +139,19 @@ let () =
   let merged = Pool.merged_report () in
   Printf.printf "\n== Telemetry (merged across all instrumented runs) ==\n";
   print_string (Export.to_text merged);
+  Printf.printf "\n== Audit (provenance verdicts, merged) ==\n";
+  List.iter
+    (fun (name, count) -> Printf.printf "%-16s%10d\n" name count)
+    (Pool.merged_audit_summary ());
+  (* The span-name multiset is scheduling-independent even though which
+     domain records which span is not; printing it on stdout puts it
+     under the byte-identity diff of the [-j] parity rules. *)
+  if !span_set then begin
+    Printf.printf "\n== Phase spans (multiset across all instrumented runs) ==\n";
+    List.iter
+      (fun (name, count) -> Printf.printf "%-16s%10d\n" name count)
+      (Trace.span_set (Pool.tracers ()))
+  end;
   (* Timing is host-dependent, so it goes to stderr: stdout stays
      byte-identical across [-j] values (the bench-smoke alias and the
      acceptance check diff it). *)
@@ -125,4 +161,10 @@ let () =
     (Unix.gettimeofday () -. t0)
     (agg_instrs / 1_000_000)
     agg_wall agg_mips (Pool.jobs ());
-  Option.iter (fun path -> write_json ~experiment:which path) !json_path
+  Option.iter (fun path -> write_json ~experiment:which path) !json_path;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Trace.to_chrome_string (Pool.tracers ()));
+      close_out oc)
+    !chrome_path

@@ -34,6 +34,42 @@ let merged_report () =
   let regs = Mutex.protect sinks_mu (fun () -> !sinks) in
   Telemetry.merge (List.map Telemetry.report regs)
 
+(* --- audit-summary sink ------------------------------------------------------- *)
+
+(* Each instrumented session's provenance-verdict counts are absorbed
+   here; [merged_audit_summary] is a pointwise sum in canonical verdict
+   order, so it too is byte-identical for every [-j]. *)
+
+let audit_mu = Mutex.create ()
+let audit_summaries : (string * int) list list ref = ref []
+
+let absorb_audit_summary s =
+  Mutex.protect audit_mu (fun () -> audit_summaries := s :: !audit_summaries)
+
+let merged_audit_summary () =
+  Audit.merge_summaries (Mutex.protect audit_mu (fun () -> !audit_summaries))
+
+(* --- per-domain phase-span tracers --------------------------------------------- *)
+
+(* One tracer per worker domain (same DLS pattern as the telemetry
+   sinks); every instrumented cell's pipeline spans land in its
+   domain's tracer.  Which spans land where depends on scheduling, but
+   the multiset of span names ([Trace.span_set]) does not — the
+   [-j]-parity diff rule asserts exactly that. *)
+
+let traces_mu = Mutex.create ()
+let traces : Trace.t list ref = ref []
+
+let trace_key =
+  Domain.DLS.new_key (fun () ->
+      let t = Trace.create ~clock:Unix.gettimeofday () in
+      Mutex.protect traces_mu (fun () -> traces := t :: !traces);
+      t)
+
+let trace_sink () = Domain.DLS.get trace_key
+
+let tracers () = Mutex.protect traces_mu (fun () -> !traces)
+
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
   | Some n when n >= 1 -> Some n

@@ -124,7 +124,9 @@ let overhead (w : Workloads.Workload.t) run = Stats.pct (baseline w).cycles run.
    scheduling-independent telemetry summary at the end. *)
 let instrumented ?(enable = true) ?telemetry ?(tag = "") options
     (w : Workloads.Workload.t) : run * Session.t =
-  let session = Session.create ?telemetry ~options w.source in
+  let session =
+    Session.create ?telemetry ~trace:(Pool.trace_sink ()) ~options w.source
+  in
   if enable then Mrs.enable session.Session.mrs;
   let t0 = Unix.gettimeofday () in
   let exit_code, _ = Session.run ~fuel session in
@@ -148,4 +150,5 @@ let instrumented ?(enable = true) ?telemetry ?(tag = "") options
   in
   record ~label ~overhead_pct:(overhead w r) r;
   Telemetry.absorb (Pool.telemetry_sink ()) (Session.report session);
+  Pool.absorb_audit_summary (Audit.summary session.Session.audit);
   (r, session)

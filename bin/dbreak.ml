@@ -20,6 +20,12 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
 let strategy_conv =
   let parse s =
     try Ok (Strategy.of_string s)
@@ -41,8 +47,15 @@ let opt_conv =
   in
   Arg.conv (parse, print)
 
+(* Runtime failures are reported here (message to stderr, exit 1) so
+   that everything cmdliner itself rejects — unknown flags, missing
+   option arguments — is unambiguously a usage error (exit 2). *)
+let fail msg =
+  Printf.eprintf "dbreak: %s\n" msg;
+  1
+
 let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_asm
-    stats metrics trace fuel =
+    stats metrics trace fuel audit_file explain chrome_trace =
   try
     let source = read_file source_file in
     let options =
@@ -53,13 +66,18 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
       let out = Minic.Compile.compile source in
       let plan = Instrument.run options out in
       print_string (Sparc.Printer.program_to_string plan.Instrument.program);
-      `Ok ()
+      0
     end
     else begin
       let telemetry = Telemetry.create ~ring_capacity:trace () in
       Telemetry.set_tag telemetry "source"
         (Filename.basename source_file);
-      let session = Session.create ~options ~telemetry source in
+      let audit = Audit.create () in
+      Audit.set_tag audit "source" (Filename.basename source_file);
+      let tracer = Trace.create ~clock:Unix.gettimeofday () in
+      let session =
+        Session.create ~options ~telemetry ~audit ~trace:tracer source
+      in
       Session.install_oracle session;
       let dbg = Debugger.create session in
       List.iter
@@ -126,18 +144,38 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (Export.to_prometheus rep))
       | None -> ());
-      `Ok ()
+      (match audit_file with
+      | Some path ->
+        write_file path (Audit.to_json_string ~indent:1 (Audit.report audit))
+      | None -> ());
+      (match chrome_trace with
+      | Some path -> write_file path (Trace.to_chrome_string [ tracer ])
+      | None -> ());
+      match explain with
+      | None -> 0
+      | Some target -> (
+        let rep = Audit.report audit in
+        match Audit.explain rep target with
+        | Some text ->
+          print_string text;
+          0
+        | None ->
+          fail
+            (Printf.sprintf
+               "no write site matches %S (expected a site address or a \
+                sym-matched pseudo; try --audit to list them)"
+               target))
     end
   with
-  | Sys_error m -> `Error (false, m)
+  | Sys_error m -> fail m
   | Minic.Compile.Error e ->
-    `Error (false, Printf.sprintf "%s error: %s" e.Minic.Compile.phase e.message)
+    fail (Printf.sprintf "%s error: %s" e.Minic.Compile.phase e.message)
   | Machine.Cpu.Fault { pc; reason } ->
-    `Error (false, Printf.sprintf "machine fault at 0x%x: %s" pc reason)
+    fail (Printf.sprintf "machine fault at 0x%x: %s" pc reason)
   | Machine.Cpu.Out_of_fuel { executed } ->
-    `Error (false, Printf.sprintf "out of fuel after %d instructions" executed)
+    fail (Printf.sprintf "out of fuel after %d instructions" executed)
   | Debugger.No_such_variable v ->
-    `Error (false, Printf.sprintf "no such variable: %s" v)
+    fail (Printf.sprintf "no such variable: %s" v)
 
 let source_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE.mc"
@@ -188,6 +226,28 @@ let fuel_arg =
   Arg.(value & opt int 500_000_000 & info [ "fuel" ] ~docv:"N"
        ~doc:"Instruction budget before giving up.")
 
+let audit_file_arg =
+  Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE"
+       ~doc:"Write the analysis-provenance journal (one verdict per write \
+             site, patch and region lifecycle events, bound-lattice \
+             fixpoints) as versioned dbp-audit/1 JSON to $(docv) after the \
+             run.")
+
+let explain_arg =
+  Arg.(value & opt (some string) None & info [ "explain" ]
+       ~docv:"ADDR|PSEUDO"
+       ~doc:"After the run, explain why the matching write sites kept or \
+             lost their checks: the sec 4.2/4.3 verdict, its bound \
+             expressions and lattice derivation, and any runtime patch \
+             events.  $(docv) is a site address (0x-hex or decimal) or a \
+             sym-matched pseudo name such as 'g' or 'main.i'.")
+
+let chrome_trace_arg =
+  Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE"
+       ~doc:"Write the pipeline phase spans (compile, lift, symopt, \
+             loopopt, plan, instrument, run) as a Chrome trace_event JSON \
+             array to $(docv) — loadable in Perfetto or chrome://tracing.")
+
 let cmd =
   let doc = "practical data breakpoints for mini-C programs" in
   let man =
@@ -202,11 +262,23 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "dbreak" ~version:"1.0" ~doc ~man)
+    (Cmd.info "dbreak" ~version:"1.1" ~doc ~man)
     Term.(
-      ret
-        (const run_cmd $ source_arg $ watch_arg $ strategy_arg $ opt_arg
-        $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ metrics_arg
-        $ trace_arg $ fuel_arg))
+      const run_cmd $ source_arg $ watch_arg $ strategy_arg $ opt_arg
+      $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ metrics_arg
+      $ trace_arg $ fuel_arg $ audit_file_arg $ explain_arg
+      $ chrome_trace_arg)
 
-let () = exit (Cmd.eval cmd)
+(* Conventional exit codes: 0 success (including --help/--version), 1 a
+   runtime failure reported by the tool itself ({!fail}), 2 a
+   command-line usage error (unknown flag, missing option argument) —
+   cmdliner's default of 124 for the latter surprises shell scripts and
+   CI alike.  Since [run_cmd] never errors through cmdliner, every
+   [Error] from [eval_value] is a usage error. *)
+let () =
+  exit
+    (match Cmd.eval_value cmd with
+    | Ok (`Ok code) -> code
+    | Ok `Version | Ok `Help -> 0
+    | Error (`Parse | `Term) -> 2
+    | Error `Exn -> 3)

@@ -87,7 +87,10 @@ let loop_trap ~env ~trap id =
   @ List.map i (Asm.set id (Reg.g 5))
   @ [ i (Asm.trap trap); Asm.Label skip ]
 
-let run (options : options) (out : Minic.Codegen.output) : t =
+let run ?audit ?trace (options : options) (out : Minic.Codegen.output) : t =
+  let span name f =
+    match trace with Some tr -> Trace.with_span tr name f | None -> f ()
+  in
   let items = Array.of_list out.program.text in
   let function_labels = "_start" :: out.functions in
   let instrumented_functions =
@@ -100,20 +103,26 @@ let run (options : options) (out : Minic.Codegen.output) : t =
     in
     List.filter (fun f -> not (List.mem f options.exclude)) fs
   in
-  let slices = Ir.Lift.slice_program ~function_labels out.program.text in
-  let slices =
-    List.filter (fun s -> List.mem s.Ir.Lift.fname instrumented_functions) slices
+  let slices, lifted =
+    span "lift" (fun () ->
+        let slices = Ir.Lift.slice_program ~function_labels out.program.text in
+        let slices =
+          List.filter
+            (fun s -> List.mem s.Ir.Lift.fname instrumented_functions)
+            slices
+        in
+        (slices, List.map (fun s -> (s, Ir.Lift.lift_slice s)) slices))
   in
   (* --- analysis --------------------------------------------------------- *)
-  let lifted = List.map (fun s -> (s, Ir.Lift.lift_slice s)) slices in
   let sym_results, extra_call_defs =
     if options.opt = O0 then ([], [])
-    else begin
+    else
+      span "symopt" @@ fun () ->
       let escaped = Symopt.escaped_globals (List.map snd lifted) in
       let results =
         List.map
           (fun ((s : Ir.Lift.slice), tac) ->
-            (s, Symopt.rewrite out.symtab ~fname:s.fname ~escaped tac))
+            (s, Symopt.rewrite ?audit out.symtab ~fname:s.fname ~escaped tac))
           lifted
       in
       let globals =
@@ -122,7 +131,6 @@ let run (options : options) (out : Minic.Codegen.output) : t =
         |> List.map (fun p -> Ir.Tac.Pseudo p)
       in
       (results, globals)
-    end
   in
   let loop_plans, loop_stats =
     if options.opt <> O_full then
@@ -131,12 +139,13 @@ let run (options : options) (out : Minic.Codegen.output) : t =
     else begin
       let counter = ref 0 in
       let next_loop_id () = incr counter; !counter in
+      span "loopopt" @@ fun () ->
       List.fold_left
         (fun (plans, stats) ((s : Ir.Lift.slice), r) ->
           if s.fname = "_start" then (plans, stats)
           else begin
             let p, st =
-              Loopopt.analyze ~next_loop_id
+              Loopopt.analyze ~next_loop_id ?trace
                 { Loopopt.fname = s.fname; tac = r.Symopt.tac;
                   items = s.items; extra_call_defs }
             in
@@ -163,6 +172,34 @@ let run (options : options) (out : Minic.Codegen.output) : t =
         loop_plans
     else loop_plans
   in
+  (* Provenance: the surviving plans carry the final §4.3 verdicts —
+     recorded only now, after alias filtering, so the journal never
+     claims an elimination the emitted program does not perform. *)
+  (match audit with
+  | Some a ->
+    List.iter
+      (fun (p : Loopopt.loop_plan) ->
+        List.iter
+          (fun (c : Loopopt.check) ->
+            match c with
+            | Loopopt.Inv { expr; origin; level; _ } ->
+              Audit.loop_invariant a ~origin ~loop_id:p.loop_id
+                ~bexpr:(Fmt.str "%a" Ir.Bounds.pp_bexpr expr)
+                ~level:(Ir.Bounds.level_name level)
+            | Loopopt.Rng { lo; hi; origin; lo_level; hi_level; _ } ->
+              Audit.loop_range a ~origin ~loop_id:p.loop_id
+                ~lo:(Fmt.str "%a" Ir.Bounds.pp_bexpr lo)
+                ~hi:(Fmt.str "%a" Ir.Bounds.pp_bexpr hi)
+                ~levels:
+                  (Ir.Bounds.level_name lo_level ^ "/"
+                  ^ Ir.Bounds.level_name hi_level))
+          p.checks;
+        List.iter
+          (fun (var, bounds) ->
+            Audit.lattice a ~fn:p.fname ~loop_id:p.loop_id ~var ~bounds)
+          p.lattice)
+      loop_plans
+  | None -> ());
   (* --- site table -------------------------------------------------------- *)
   let sym_eliminated : (int, string) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -191,31 +228,60 @@ let run (options : options) (out : Minic.Codegen.output) : t =
     fun idx -> List.exists (fun (a, b) -> idx >= a && idx <= b) ranges
   in
   let sites = ref [] in
-  Array.iteri
-    (fun idx item ->
-      match item with
-      | Asm.Insn (Insn.St { width; _ } as st) when in_instrumented idx ->
-        let write_type =
-          Write_type.classify ~fortran_idiom:options.fortran_idiom items idx
-        in
-        let status =
-          match Hashtbl.find_opt sym_eliminated idx with
-          | Some pseudo -> Sym_eliminated pseudo
-          | None -> (
-            match Hashtbl.find_opt loop_eliminated idx with
-            | Some id -> Loop_eliminated id
-            | None -> Checked)
-        in
-        sites :=
-          { origin = idx; slot = 0; width; write_type; status; insn = st }
-          :: !sites
-      | _ -> ())
-    items;
+  span "plan" (fun () ->
+      Array.iteri
+        (fun idx item ->
+          match item with
+          | Asm.Insn (Insn.St { width; _ } as st) when in_instrumented idx ->
+            let write_type =
+              Write_type.classify ~fortran_idiom:options.fortran_idiom items idx
+            in
+            let status =
+              match Hashtbl.find_opt sym_eliminated idx with
+              | Some pseudo -> Sym_eliminated pseudo
+              | None -> (
+                match Hashtbl.find_opt loop_eliminated idx with
+                | Some id -> Loop_eliminated id
+                | None -> Checked)
+            in
+            sites :=
+              { origin = idx; slot = 0; width; write_type; status; insn = st }
+              :: !sites
+          | _ -> ())
+        items);
   (* Slots are dense indices in program order: the telemetry layer sizes
      its per-site exec/hit arrays off them at instrument time. *)
   let sites = List.mapi (fun i s -> { s with slot = i }) (List.rev !sites) in
   let site_of : (int, site) Hashtbl.t = Hashtbl.create 256 in
   List.iter (fun s -> Hashtbl.replace site_of s.origin s) sites;
+  (* Finalize the journal's site entries: join each slot against the
+     decisions the optimizers recorded by origin. *)
+  (match audit with
+  | Some a ->
+    let fn_of =
+      let ranges =
+        List.map
+          (fun (s : Ir.Lift.slice) ->
+            match s.items with
+            | (first, _) :: _ ->
+              let last = List.fold_left (fun _ (k, _) -> k) first s.items in
+              (s.Ir.Lift.fname, first, last)
+            | [] -> (s.Ir.Lift.fname, 0, -1))
+          slices
+      in
+      fun idx ->
+        match
+          List.find_opt (fun (_, a, b) -> idx >= a && idx <= b) ranges
+        with
+        | Some (f, _, _) -> f
+        | None -> "?"
+    in
+    List.iter
+      (fun s ->
+        Audit.record_site a ~slot:s.slot ~origin:s.origin ~fn:(fn_of s.origin)
+          ~write_type:(Write_type.to_string s.write_type))
+      sites
+  | None -> ());
   let read_sites = ref [] in
   if options.monitor_reads then
     Array.iteri
@@ -258,6 +324,7 @@ let run (options : options) (out : Minic.Codegen.output) : t =
   let buf = ref [] in
   let emit item = buf := item :: !buf in
   let emit_all l = List.iter emit l in
+  span "instrument" (fun () ->
   Array.iteri
     (fun idx item ->
       (match Hashtbl.find_opt entry_at idx with
@@ -313,7 +380,7 @@ let run (options : options) (out : Minic.Codegen.output) : t =
             | [] -> assert false)
           | _ -> ()
         end)
-    items;
+    items);
   (* Patch stubs for every eliminated site. *)
   let stubs =
     List.concat_map

@@ -81,7 +81,16 @@ type t = {
   functions : string list;
 }
 
-val run : options -> Minic.Codegen.output -> t
+val run : ?audit:Audit.t -> ?trace:Trace.t -> options -> Minic.Codegen.output -> t
+(** With [audit], the journal receives one provenance verdict per write
+    site: [Sym_matched] decisions are emitted by {!Symopt.rewrite},
+    loop decisions (with their bound expressions, lattice levels and
+    the per-loop Figure-4 fixpoint) are recorded from the surviving
+    loop plans after alias filtering, and every site is finalized with
+    its slot, origin, enclosing function and write type.  With [trace],
+    the pipeline stages are bracketed in spans:
+    ["lift"], ["symopt"], ["loopopt"] (with per-function ["cfg-ssa"] /
+    ["bounds"] children), ["plan"] and ["instrument"]. *)
 
 (** Label naming scheme used to find sites after assembly: *)
 

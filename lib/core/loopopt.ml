@@ -3,13 +3,31 @@
    plans pre-header checks for the eliminated in-loop write checks. *)
 
 type check =
-  | Inv of { expr : Ir.Bounds.bexpr; width : Sparc.Insn.width; origin : int }
+  | Inv of {
+      expr : Ir.Bounds.bexpr;
+      width : Sparc.Insn.width;
+      origin : int;
+      level : Ir.Bounds.level;
+    }
   | Rng of {
       lo : Ir.Bounds.bexpr;
       hi : Ir.Bounds.bexpr;
       width : Sparc.Insn.width;
       origin : int;
+      lo_level : Ir.Bounds.level;
+      hi_level : Ir.Bounds.level;
     }
+
+(* The canonical debug rendering of a planned pre-header check — the
+   same pretty-printers back the audit journal and `dbreak --explain`. *)
+let pp_check ppf = function
+  | Inv { expr; origin; level; _ } ->
+    Fmt.pf ppf "inv@%d(%a@%a)" origin Ir.Bounds.pp_bexpr expr
+      Ir.Bounds.pp_level level
+  | Rng { lo; hi; origin; lo_level; hi_level; _ } ->
+    Fmt.pf ppf "rng@%d(%a@%a, %a@%a)" origin Ir.Bounds.pp_bexpr lo
+      Ir.Bounds.pp_level lo_level Ir.Bounds.pp_bexpr hi Ir.Bounds.pp_level
+      hi_level
 
 type loop_plan = {
   loop_id : int;
@@ -22,6 +40,10 @@ type loop_plan = {
   contains_ret : bool;
       (* a return inside the loop bypasses exit bookkeeping; alias-
          checked runs refuse to optimize such loops *)
+  lattice : (string * string) list;
+      (* the Figure-4 fixpoint at this loop: rendered SSA variable ->
+         rendered bounds, deterministically ordered — provenance for
+         the audit journal *)
 }
 
 type stats = {
@@ -69,11 +91,20 @@ type fn_input = {
   extra_call_defs : Ir.Tac.name list;
 }
 
-let analyze ~next_loop_id (input : fn_input) : loop_plan list * stats =
-  let cfg = Ir.Cfg.insert_asserts (Ir.Cfg.build input.tac) in
-  let dom = Ir.Dominance.compute cfg in
-  let loops = Ir.Loops.find cfg dom in
-  let ssa = Ir.Ssa.construct ~extra_call_defs:input.extra_call_defs cfg dom in
+let analyze ~next_loop_id ?trace (input : fn_input) : loop_plan list * stats =
+  let span name f =
+    match trace with Some t -> Trace.with_span t name f | None -> f ()
+  in
+  let cfg, loops, ssa =
+    span "cfg-ssa" (fun () ->
+        let cfg = Ir.Cfg.insert_asserts (Ir.Cfg.build input.tac) in
+        let dom = Ir.Dominance.compute cfg in
+        let loops = Ir.Loops.find cfg dom in
+        let ssa =
+          Ir.Ssa.construct ~extra_call_defs:input.extra_call_defs cfg dom
+        in
+        (cfg, loops, ssa))
+  in
   let label_item =
     let tbl = Hashtbl.create 16 in
     List.iter
@@ -90,6 +121,7 @@ let analyze ~next_loop_id (input : fn_input) : loop_plan list * stats =
           invariant_checks = 0; range_checks = 0 }
   in
   let plans =
+    span "bounds" @@ fun () ->
     List.filter_map
       (fun (loop : Ir.Loops.loop) ->
         if not (fallthrough_entry cfg loop) then None
@@ -103,12 +135,16 @@ let analyze ~next_loop_id (input : fn_input) : loop_plan list * stats =
                 else
                   match d.disposition with
                   | Ir.Bounds.Keep -> (checks, elim, alias)
-                  | Ir.Bounds.Invariant { expr } ->
-                    ( Inv { expr; width = d.width; origin = d.origin } :: checks,
+                  | Ir.Bounds.Invariant { expr; level } ->
+                    ( Inv { expr; width = d.width; origin = d.origin; level }
+                      :: checks,
                       d.origin :: elim,
                       pseudos_of_bexpr expr @ alias )
-                  | Ir.Bounds.Range { lo; hi } ->
-                    ( Rng { lo; hi; width = d.width; origin = d.origin } :: checks,
+                  | Ir.Bounds.Range { lo; hi; lo_level; hi_level } ->
+                    ( Rng
+                        { lo; hi; width = d.width; origin = d.origin;
+                          lo_level; hi_level }
+                      :: checks,
                       d.origin :: elim,
                       pseudos_of_bexpr lo @ pseudos_of_bexpr hi @ alias ))
               ([], [], []) decisions
@@ -151,6 +187,13 @@ let analyze ~next_loop_id (input : fn_input) : loop_plan list * stats =
                       (Ir.Cfg.block cfg b).body)
                   loop.body
               in
+              let lattice =
+                List.map
+                  (fun (v, b) ->
+                    ( Fmt.str "%a" Ir.Ssa.pp_var v,
+                      Fmt.str "%a" Ir.Bounds.pp_bounds b ))
+                  (Ir.Bounds.env_bindings env)
+              in
               Some
                 {
                   loop_id = id;
@@ -161,6 +204,7 @@ let analyze ~next_loop_id (input : fn_input) : loop_plan list * stats =
                   alias_pseudos = List.sort_uniq compare alias;
                   exit_items;
                   contains_ret;
+                  lattice;
                 }
             end
           end

@@ -10,14 +10,24 @@
     entry). *)
 
 type check =
-  | Inv of { expr : Ir.Bounds.bexpr; width : Sparc.Insn.width; origin : int }
-      (** a loop-invariant address: one standard check per entry *)
+  | Inv of {
+      expr : Ir.Bounds.bexpr;
+      width : Sparc.Insn.width;
+      origin : int;
+      level : Ir.Bounds.level;
+    }  (** a loop-invariant address: one standard check per entry *)
   | Rng of {
       lo : Ir.Bounds.bexpr;
       hi : Ir.Bounds.bexpr;
       width : Sparc.Insn.width;
       origin : int;
+      lo_level : Ir.Bounds.level;
+      hi_level : Ir.Bounds.level;
     }  (** a monotonic/bounded address: one range check per entry *)
+
+val pp_check : Format.formatter -> check -> unit
+(** Canonical debug rendering (via {!Ir.Bounds.pp_bexpr} /
+    {!Ir.Bounds.pp_level}), shared with the audit journal. *)
 
 type loop_plan = {
   loop_id : int;
@@ -31,6 +41,10 @@ type loop_plan = {
           duration (§4.5) *)
   exit_items : int list;
   contains_ret : bool;
+  lattice : (string * string) list;
+      (** the Figure-4 fixpoint: rendered SSA variable → rendered
+          bounds ({!Ir.Bounds.pp_bounds}), deterministically ordered —
+          the provenance the audit journal records per loop *)
 }
 
 type stats = {
@@ -47,4 +61,8 @@ type fn_input = {
   extra_call_defs : Ir.Tac.name list;
 }
 
-val analyze : next_loop_id:(unit -> int) -> fn_input -> loop_plan list * stats
+val analyze :
+  next_loop_id:(unit -> int) -> ?trace:Trace.t -> fn_input ->
+  loop_plan list * stats
+(** [trace] brackets the per-function pipeline stages in
+    ["cfg-ssa"] / ["bounds"] spans. *)

@@ -55,6 +55,7 @@ type t = {
   loop_check_cycles : int;
   pseudo_home : string -> [ `Global of int | `Local of string * int ] option;
   telemetry : Telemetry.t option;
+  audit : Audit.t option;
   (* Hit → site attribution maps, built once at install time from the
      resolved site/patch/read-site labels: parallel arrays sorted by
      label address.  A write hit's trap pc lies inside the check
@@ -78,6 +79,19 @@ let counters t = t.counters
 
 let tel_incr t c =
   match t.telemetry with Some tel -> Telemetry.incr tel c | None -> ()
+
+(* --- audit glue ---------------------------------------------------------------- *)
+
+let aud t f = match t.audit with Some a -> f a | None -> ()
+
+let aud_patch t kind ~why origin =
+  aud t (fun a ->
+      Audit.patch a ~kind ~pseudo:why ~origin ~insn:(Cpu.instr_count t.cpu))
+
+let aud_region t kind ~why (r : Region.t) =
+  aud t (fun a ->
+      Audit.region a ~kind ~lo:r.Region.lo ~hi:r.Region.hi ~why
+        ~insn:(Cpu.instr_count t.cpu))
 
 (* Greatest index with [addrs.(i) <= pc]. *)
 let attr_last_le addrs pc =
@@ -258,23 +272,25 @@ let invalidate_caches t =
 
 (* --- patches (Kessler fast breakpoints, §4) ------------------------------------ *)
 
-let insert_check t origin =
+let insert_check ?(why = "") t origin =
   if not (Hashtbl.mem t.patched origin) then begin
     match Hashtbl.find_opt t.site_addr origin, Hashtbl.find_opt t.patch_addr origin with
     | Some site, Some patch ->
       Hashtbl.replace t.patched origin ();
       t.counters.patches_inserted <- t.counters.patches_inserted + 1;
       tel_incr t Telemetry.Patches_inserted;
+      aud_patch t Audit.Patch_inserted ~why origin;
       Cpu.patch t.cpu site (Insn.Branch { cond = Cond.A; target = Insn.Abs patch })
     | _, _ -> ()
   end
 
-let remove_check t origin =
+let remove_check ?(why = "") t origin =
   if Hashtbl.mem t.patched origin then begin
     match Hashtbl.find_opt t.site_addr origin, Hashtbl.find_opt t.original origin with
     | Some site, Some insn ->
       Hashtbl.remove t.patched origin;
       tel_incr t Telemetry.Patches_removed;
+      aud_patch t Audit.Patch_removed ~why origin;
       Cpu.patch t.cpu site insn
     | _, _ -> ()
   end
@@ -294,7 +310,7 @@ let record_gauges t =
 
 (* --- the service interface ------------------------------------------------------ *)
 
-let create_region t region =
+let create_region ?(why = "user") t region =
   (match t.plan.Instrument.options.strategy with
   | Strategy.Hardware_watch n ->
     let words set =
@@ -306,14 +322,16 @@ let create_region t region =
   t.regions <- Region.add t.regions region;
   Segbitmap.add_region t.bitmap region;
   tel_incr t Telemetry.Regions_created;
+  aud_region t Audit.Region_created ~why region;
   if t.plan.Instrument.options.strategy = Strategy.Hash_table then
     hash_add_region t region;
   invalidate_caches t
 
-let delete_region t region =
+let delete_region ?(why = "user") t region =
   t.regions <- Region.remove t.regions region;
   Segbitmap.remove_region t.bitmap region;
   tel_incr t Telemetry.Regions_deleted;
+  aud_region t Audit.Region_deleted ~why region;
   if t.plan.Instrument.options.strategy = Strategy.Hash_table then
     hash_remove_region t region
 
@@ -330,13 +348,13 @@ let disable t =
 let pre_monitor t pseudo =
   List.iter
     (fun (p, origins) ->
-      if String.equal p pseudo then List.iter (insert_check t) origins)
+      if String.equal p pseudo then List.iter (insert_check ~why:pseudo t) origins)
     t.plan.Instrument.sites_by_pseudo
 
 let post_monitor t pseudo =
   List.iter
     (fun (p, origins) ->
-      if String.equal p pseudo then List.iter (remove_check t) origins)
+      if String.equal p pseudo then List.iter (remove_check ~why:pseudo t) origins)
     t.plan.Instrument.sites_by_pseudo
 
 (* --- trap handlers ---------------------------------------------------------------- *)
@@ -372,7 +390,10 @@ let on_hit ?(access = Write) t cpu =
             (fun (key, rs) ->
               fst key = p.loop_id && List.exists (Region.equal region) rs)
             t.alias_regions
-        then List.iter (insert_check t) p.eliminated)
+        then
+          List.iter
+            (insert_check ~why:("alias:" ^ string_of_int p.loop_id) t)
+            p.eliminated)
       t.loops
   | None ->
     (* Stale bitmap bit cannot happen: bits are only set by regions. *)
@@ -415,7 +436,9 @@ let on_loop_entry t cpu =
     if triggered then begin
       t.counters.loop_triggers <- t.counters.loop_triggers + 1;
       tel_incr t Telemetry.Loop_triggers;
-      List.iter (insert_check t) plan.eliminated
+      List.iter
+        (insert_check ~why:("loop:" ^ string_of_int plan.loop_id) t)
+        plan.eliminated
     end;
     if t.plan.Instrument.options.check_aliases && plan.alias_pseudos <> [] then begin
       let fp = Cpu.get cpu Reg.fp in
@@ -434,7 +457,11 @@ let on_loop_entry t cpu =
       in
       let rs =
         List.filter_map
-          (fun r -> try create_region t r; Some r with Region.Invalid _ -> None)
+          (fun r ->
+            try
+              create_region ~why:"loop-preheader" t r;
+              Some r
+            with Region.Invalid _ -> None)
           rs
       in
       t.alias_regions <- ((plan.loop_id, fp), rs) :: t.alias_regions
@@ -448,7 +475,10 @@ let on_loop_exit t cpu =
     let key = (plan.loop_id, fp) in
     (match List.assoc_opt key t.alias_regions with
     | Some rs ->
-      List.iter (fun r -> try delete_region t r with Region.Invalid _ -> ()) rs;
+      List.iter
+        (fun r ->
+          try delete_region ~why:"loop-exit" t r with Region.Invalid _ -> ())
+        rs;
       t.alias_regions <- List.remove_assoc key t.alias_regions
     | None -> ());
     Cpu.add_cycles cpu (4 - (Cpu.config cpu).Cpu.trap_cycles)
@@ -460,7 +490,7 @@ let on_violation t cpu =
 
 (* --- installation -------------------------------------------------------------------- *)
 
-let install ?(protect_self = false) ?telemetry ~(plan : Instrument.t)
+let install ?(protect_self = false) ?telemetry ?audit ~(plan : Instrument.t)
     ~(image : Assembler.image) ~symtab cpu =
   let layout = plan.Instrument.options.layout in
   let t =
@@ -494,6 +524,7 @@ let install ?(protect_self = false) ?telemetry ~(plan : Instrument.t)
       loop_check_cycles = 12;
       pseudo_home = (fun p -> pseudo_home_of_symtab symtab p);
       telemetry;
+      audit;
       w_attr_addrs = [||];
       w_attr_slots = [||];
       w_attr_types = [||];
@@ -559,10 +590,10 @@ let install ?(protect_self = false) ?telemetry ~(plan : Instrument.t)
      bucket array; the segment table itself is too large to cover and a
      corruption there is caught by the test oracle instead). *)
   if protect_self then begin
-    create_region t
+    create_region ~why:"mrs-self" t
       (Region.v ~kind:Region.Internal ~addr:layout.Layout.shadow_base
          ~size_bytes:4096 ());
-    create_region t
+    create_region ~why:"mrs-self" t
       (Region.v ~kind:Region.Internal ~addr:layout.Layout.hash_base
          ~size_bytes:(4 * layout.Layout.hash_buckets) ())
   end;

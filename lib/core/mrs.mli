@@ -39,6 +39,7 @@ type t
 val install :
   ?protect_self:bool ->
   ?telemetry:Telemetry.t ->
+  ?audit:Audit.t ->
   plan:Instrument.t ->
   image:Sparc.Assembler.image ->
   symtab:Sparc.Symtab.t ->
@@ -54,12 +55,19 @@ val install :
     site (by binary search over the site/patch/read-site label
     addresses) and bump that slot's hit cell, a trace event is appended
     to the registry's ring, and region/patch/loop/violation counters
-    are kept alongside {!counters}. *)
+    are kept alongside {!counters}.
 
-val create_region : t -> Region.t -> unit
-(** @raise Region.Invalid on overlap or misalignment. *)
+    With [audit], patch insert/remove and region create/delete are
+    journalled as lifecycle events carrying the reason ([why]) and the
+    instruction count at which they happened — the runtime half of the
+    provenance record started at instrument time. *)
 
-val delete_region : t -> Region.t -> unit
+val create_region : ?why:string -> t -> Region.t -> unit
+(** [why] labels the audit event (defaults to ["user"]; internal callers
+    pass ["loop-preheader"], ["mrs-self"], ...).
+    @raise Region.Invalid on overlap or misalignment. *)
+
+val delete_region : ?why:string -> t -> Region.t -> unit
 
 val regions : t -> Region.set
 
@@ -75,10 +83,12 @@ val pre_monitor : t -> string -> unit
 
 val post_monitor : t -> string -> unit
 
-val insert_check : t -> int -> unit
-(** Patch in the check for one eliminated site (by origin). *)
+val insert_check : ?why:string -> t -> int -> unit
+(** Patch in the check for one eliminated site (by origin).  [why]
+    labels the audit event: the pseudo name for PreMonitor patches,
+    ["loop:N"] / ["alias:N"] for dynamic loop re-insertion. *)
 
-val remove_check : t -> int -> unit
+val remove_check : ?why:string -> t -> int -> unit
 
 val check_inserted : t -> int -> bool
 

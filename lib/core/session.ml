@@ -12,6 +12,8 @@ type t = {
   cpu : Cpu.t;
   mrs : Mrs.t;
   telemetry : Telemetry.t;
+  audit : Audit.t;
+  trace : Trace.t;
   site_slot : (int, int) Hashtbl.t;  (* origin -> telemetry array slot *)
   mutable expected_hits : (int * int) list;  (* oracle: addr, access pc *)
   functions : string list;
@@ -23,9 +25,25 @@ let site_kind_of_status = function
   | Instrument.Loop_eliminated _ -> Telemetry.site_kind_loop
 
 let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false)
-    ?telemetry source =
-  let out = Minic.Compile.compile source in
-  let plan = Instrument.run options out in
+    ?telemetry ?audit ?trace source =
+  let telemetry =
+    match telemetry with Some tel -> tel | None -> Telemetry.create ()
+  in
+  (* The provenance journal and phase tracer default to fresh instances
+     gated on the registry's flag, so a registry-off session emits
+     nothing anywhere. *)
+  let audit =
+    match audit with
+    | Some a -> a
+    | None -> Audit.create ~enabled:(fun () -> Telemetry.enabled telemetry) ()
+  in
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> Trace.create ~enabled:(fun () -> Telemetry.enabled telemetry) ()
+  in
+  let out = Trace.with_span trace "compile" (fun () -> Minic.Compile.compile source) in
+  let plan = Instrument.run ~audit ~trace options out in
   let image =
     try Assembler.assemble plan.Instrument.program
     with Assembler.Error m ->
@@ -38,10 +56,8 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
   in
   let cpu = Cpu.create ?config image in
   Cpu.install_basic_services cpu;
-  let telemetry =
-    match telemetry with Some tel -> tel | None -> Telemetry.create ()
-  in
   Telemetry.set_tag telemetry "strategy" (Strategy.tag options.Instrument.strategy);
+  Audit.set_tag audit "strategy" (Strategy.tag options.Instrument.strategy);
   (* Size the per-site arrays off the plan: slot [i] is the i-th site in
      program order — the probes below are the only writers of the exec
      cells, so the fast path is one array increment. *)
@@ -57,16 +73,28 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
           (fun (r : Instrument.read_site) -> Write_type.index r.r_write_type)
           plan.Instrument.read_sites));
   let mrs =
-    Mrs.install ~protect_self:protect_mrs ~telemetry ~plan ~image ~symtab cpu
+    Mrs.install ~protect_self:protect_mrs ~telemetry ~audit ~plan ~image ~symtab
+      cpu
   in
   let site_slot = Hashtbl.create 256 in
   List.iter
     (fun (s : Instrument.site) ->
       Hashtbl.replace site_slot s.origin s.slot;
-      match Assembler.addr_of_label image (Instrument.site_label s.origin) with
+      (match Assembler.addr_of_label image (Instrument.site_label s.origin) with
       | Some addr ->
         let slot = s.slot in
         Cpu.add_probe cpu addr (fun _ -> Telemetry.bump_site telemetry slot)
+      | None -> ());
+      (* Conservation accounting: an eliminated site's check, once
+         patched back in, executes in its patch stub — a probe at the
+         stub label counts exactly the patched-check executions, so
+         [site_patched <= site_exec] always, with equality while the
+         patch is armed and zero while the variable is unmonitored. *)
+      match Assembler.addr_of_label image (Instrument.patch_label s.origin) with
+      | Some addr ->
+        let slot = s.slot in
+        Cpu.add_probe cpu addr (fun _ ->
+            Telemetry.bump_site_patched telemetry slot)
       | None -> ())
     plan.Instrument.sites;
   List.iter
@@ -107,6 +135,8 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
     cpu;
     mrs;
     telemetry;
+    audit;
+    trace;
     site_slot;
     expected_hits = [];
     functions = plan.Instrument.functions;
@@ -198,7 +228,7 @@ let install_oracle t =
   end
 
 let run ?fuel t =
-  let code = Cpu.run ?fuel t.cpu in
+  let code = Trace.with_span t.trace "run" (fun () -> Cpu.run ?fuel t.cpu) in
   (code, Cpu.output t.cpu)
 
 let missed_hits t =

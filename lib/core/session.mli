@@ -9,6 +9,8 @@ type t = {
   cpu : Machine.Cpu.t;
   mrs : Mrs.t;
   telemetry : Telemetry.t;
+  audit : Audit.t;  (** provenance journal threaded through the pipeline *)
+  trace : Trace.t;  (** phase-span tracer (compile → … → run) *)
   site_slot : (int, int) Hashtbl.t;
       (** write-site origin → telemetry array slot *)
   mutable expected_hits : (int * int) list;
@@ -20,6 +22,8 @@ val create :
   ?options:Instrument.options ->
   ?protect_mrs:bool ->
   ?telemetry:Telemetry.t ->
+  ?audit:Audit.t ->
+  ?trace:Trace.t ->
   string ->
   t
 (** Build a session from mini-C source.  [protect_mrs] arms the MRS's
@@ -27,6 +31,16 @@ val create :
     backing the per-site counters (default: a fresh enabled one); its
     site arrays are (re)allocated to this plan's shape, a ["strategy"]
     tag is attached, and the session's probes/MRS bump it from then on.
+
+    [audit] and [trace] (defaults: fresh instances gated on the
+    registry's enabled flag) receive the pipeline's provenance record
+    and phase spans: the journal gets one verdict per write site from
+    {!Instrument.run}, patch/region lifecycle events from the MRS, and
+    a mirrored ["strategy"] tag; the tracer brackets ["compile"], the
+    instrumenter's stages and ["run"].  Probes at the patch-stub labels
+    count patched-check executions into the registry's [site_patched]
+    cells — the conservation quantity [--audit] reconciles against the
+    journal.
     @raise Failure if the instrumented program fails to assemble.
     @raise Minic.Compile.Error on compilation errors. *)
 

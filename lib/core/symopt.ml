@@ -132,6 +132,7 @@ let addr_taken_offsets instrs =
 type matchable = {
   m_pseudo : string;
   m_global : bool;
+  m_entry : Symtab.entry;  (* the matched symbol-table entry *)
 }
 
 let matchable_local symtab ~fname ~addr_taken off : matchable option =
@@ -154,7 +155,7 @@ let matchable_local symtab ~fname ~addr_taken off : matchable option =
             | Symtab.Array _ | Symtab.Struct _ -> false)
          && (match e.location with Symtab.Fp_offset b -> b = off | _ -> false)
          && not (List.exists (fun o -> covers e o) addr_taken) ->
-    Some { m_pseudo = fname ^ "." ^ e.name; m_global = false }
+    Some { m_pseudo = fname ^ "." ^ e.name; m_global = false; m_entry = e }
   | Some _ | None -> None
 
 let matchable_global symtab ~escaped label off : matchable option =
@@ -165,10 +166,10 @@ let matchable_global symtab ~escaped label off : matchable option =
             | Symtab.Scalar | Symtab.Pointer -> true
             | Symtab.Array _ | Symtab.Struct _ -> false)
          && not (SS.mem label escaped) ->
-    Some { m_pseudo = label; m_global = true }
+    Some { m_pseudo = label; m_global = true; m_entry = e }
   | Some _ | None -> None
 
-let rewrite symtab ~fname ~escaped (instrs : Ir.Tac.instr list) : result =
+let rewrite ?audit symtab ~fname ~escaped (instrs : Ir.Tac.instr list) : result =
   let addr_taken = addr_taken_offsets instrs in
   (* Track which register holds which global address, per block, to
      resolve [set g, r; st v, [r]] patterns. *)
@@ -202,6 +203,13 @@ let rewrite symtab ~fname ~escaped (instrs : Ir.Tac.instr list) : result =
           match match_address base off with
           | Some m when width = Insn.Word ->
             matched_stores := { origin; pseudo = m.m_pseudo } :: !matched_stores;
+            (* Provenance: record the §4.2 argument for this elimination
+               — which symbol-table entry the address expression matched. *)
+            Option.iter
+              (fun a ->
+                Audit.sym_matched a ~origin ~pseudo:m.m_pseudo
+                  ~symtab_entry:(Fmt.str "%a" Symtab.pp_entry m.m_entry))
+              audit;
             if m.m_global then globals := SS.add m.m_pseudo !globals;
             Ir.Tac.Def { dst = Ir.Tac.Pseudo m.m_pseudo; rhs = Ir.Tac.Mov src; origin }
           | Some _ | None -> instr)

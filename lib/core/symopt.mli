@@ -29,4 +29,8 @@ val escaped_globals : Ir.Tac.instr list list -> SS.t
 val addr_taken_offsets : Ir.Tac.instr list -> int list
 
 val rewrite :
+  ?audit:Audit.t ->
   Sparc.Symtab.t -> fname:string -> escaped:SS.t -> Ir.Tac.instr list -> result
+(** With [audit], every matched store emits a [Sym_matched] provenance
+    decision (origin, pseudo, rendered symbol-table entry) into the
+    journal. *)

@@ -389,8 +389,8 @@ let propagate (ssa : Ssa.t) (loop : Loops.loop) : env * group list =
 
 type disposition =
   | Keep
-  | Invariant of { expr : bexpr }
-  | Range of { lo : bexpr; hi : bexpr }
+  | Invariant of { expr : bexpr; level : level }
+  | Range of { lo : bexpr; hi : bexpr; lo_level : level; hi_level : level }
 
 type store_decision = {
   origin : int;
@@ -428,8 +428,17 @@ let dispositions (ssa : Ssa.t) (loop : Loops.loop) (env : env) : store_decision 
                 | Bound lo, Bound hi
                   when evaluable ssa loop lo.expr && evaluable ssa loop hi.expr
                   ->
-                  if bexpr_equal lo.expr hi.expr then Invariant { expr = lo.expr }
-                  else Range { lo = lo.expr; hi = hi.expr }
+                  if bexpr_equal lo.expr hi.expr then
+                    Invariant
+                      { expr = lo.expr; level = min_level lo.level hi.level }
+                  else
+                    Range
+                      {
+                        lo = lo.expr;
+                        hi = hi.expr;
+                        lo_level = lo.level;
+                        hi_level = hi.level;
+                      }
                 | (Unbounded | Bound _), _ -> Keep
               in
               out := { origin; block = blk; width; disposition } :: !out
@@ -450,7 +459,32 @@ let rec pp_bexpr ppf = function
   | Bmul (a, c) -> Fmt.pf ppf "(%a * %d)" pp_bexpr a c
   | Bshl (a, c) -> Fmt.pf ppf "(%a << %d)" pp_bexpr a c
 
+let level_name = function La -> "La" | Lm -> "Lm" | Lli -> "Lli" | Lc -> "Lc"
+
+let pp_level ppf l = Fmt.string ppf (level_name l)
+
+let pp_bound ppf = function
+  | Unbounded -> Fmt.string ppf "⊥"
+  | Bound { level; expr } -> Fmt.pf ppf "%a@%a" pp_bexpr expr pp_level level
+
+let pp_bounds ppf { lo; hi } =
+  Fmt.pf ppf "[%a, %a]" pp_bound lo pp_bound hi
+
 let pp_disposition ppf = function
   | Keep -> Fmt.string ppf "keep"
-  | Invariant { expr } -> Fmt.pf ppf "invariant(%a)" pp_bexpr expr
-  | Range { lo; hi } -> Fmt.pf ppf "range(%a, %a)" pp_bexpr lo pp_bexpr hi
+  | Invariant { expr; level } ->
+    Fmt.pf ppf "invariant(%a@%a)" pp_bexpr expr pp_level level
+  | Range { lo; hi; lo_level; hi_level } ->
+    Fmt.pf ppf "range(%a@%a, %a@%a)" pp_bexpr lo pp_level lo_level pp_bexpr hi
+      pp_level hi_level
+
+(* Deterministic listing of an env's fixpoint: sorted by the rendered
+   variable name so the audit journal and [--explain] output do not
+   depend on hash-table iteration order. *)
+let env_bindings (env : env) : (Ssa.var * bounds) list =
+  VarTbl.fold (fun v b acc -> (v, b) :: acc) env []
+  |> List.sort (fun ((a : Ssa.var), _) ((b : Ssa.var), _) ->
+         let render (v : Ssa.var) = Fmt.str "%a" Ssa.pp_var v in
+         match String.compare (render a) (render b) with
+         | 0 -> compare a.version b.version
+         | c -> c)

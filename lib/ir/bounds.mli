@@ -56,8 +56,10 @@ val propagate : Ssa.t -> Loops.loop -> env * group list
 
 type disposition =
   | Keep
-  | Invariant of { expr : bexpr }
-  | Range of { lo : bexpr; hi : bexpr }
+  | Invariant of { expr : bexpr; level : level }
+      (** [level]: the usefulness level the invariant address bound was
+          derived at (the min of its lo/hi levels) *)
+  | Range of { lo : bexpr; hi : bexpr; lo_level : level; hi_level : level }
 
 type store_decision = {
   origin : int;   (** assembly item index of the store *)
@@ -73,5 +75,27 @@ val dispositions : Ssa.t -> Loops.loop -> env -> store_decision list
 
 val evaluable : Ssa.t -> Loops.loop -> bexpr -> bool
 
+(** {2 Pretty-printers}
+
+    Canonical renderings shared by the loop optimizer's debug strings,
+    the audit journal and [dbreak --explain]. *)
+
+val level_name : level -> string
+(** ["La"] / ["Lm"] / ["Lli"] / ["Lc"]. *)
+
+val pp_level : Format.formatter -> level -> unit
+
 val pp_bexpr : Format.formatter -> bexpr -> unit
+
+val pp_bound : Format.formatter -> bound -> unit
+(** [expr@level], or [⊥] for [Unbounded]. *)
+
+val pp_bounds : Format.formatter -> bounds -> unit
+(** [[lo, hi]] via {!pp_bound}. *)
+
 val pp_disposition : Format.formatter -> disposition -> unit
+
+val env_bindings : env -> (Ssa.var * bounds) list
+(** The fixpoint environment as a deterministically ordered listing
+    (sorted by rendered variable name, then version) — hash-order
+    independent, for the audit journal's lattice section. *)

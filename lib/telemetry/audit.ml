@@ -1,0 +1,464 @@
+(* Provenance journal.  Analysis decisions land in a hashtable keyed
+   by store origin; [record_site] joins them into the slot-ordered site
+   list when the plan is laid out.  Runtime patch/region events are
+   plain growing lists (bounded in practice by the number of watch
+   toggles and loop entries; the bench harness runs with audit off). *)
+
+type verdict =
+  | Kept
+  | Sym_matched of { pseudo : string; symtab_entry : string }
+  | Loop_invariant of { loop_id : int; bexpr : string; level : string }
+  | Loop_range of {
+      loop_id : int;
+      lo : string;
+      hi : string;
+      levels : string;
+    }
+
+let verdict_name = function
+  | Kept -> "kept"
+  | Sym_matched _ -> "sym_matched"
+  | Loop_invariant _ -> "loop_invariant"
+  | Loop_range _ -> "loop_range"
+
+let all_verdict_names = [ "kept"; "sym_matched"; "loop_invariant"; "loop_range" ]
+
+type site = {
+  a_slot : int;
+  a_origin : int;
+  a_fn : string;
+  a_write_type : string;
+  a_verdict : verdict;
+}
+
+type patch_kind = Patch_inserted | Patch_removed
+
+type patch_event = {
+  p_kind : patch_kind;
+  p_pseudo : string;
+  p_origin : int;
+  p_insn : int;
+}
+
+type region_kind = Region_created | Region_deleted
+
+type region_event = {
+  rg_kind : region_kind;
+  rg_lo : int;
+  rg_hi : int;
+  rg_why : string;
+  rg_insn : int;
+}
+
+type lattice_binding = {
+  lb_fn : string;
+  lb_loop : int;
+  lb_var : string;
+  lb_bounds : string;
+}
+
+type t = {
+  on : unit -> bool;
+  decisions : (int, verdict) Hashtbl.t;  (* origin -> pending verdict *)
+  mutable sites : site list;  (* newest first *)
+  mutable patches : patch_event list;  (* newest first *)
+  mutable regions : region_event list;  (* newest first *)
+  mutable lattice : lattice_binding list;  (* newest first *)
+  mutable tags : (string * string) list;
+}
+
+let create ?(enabled = fun () -> true) () =
+  {
+    on = enabled;
+    decisions = Hashtbl.create 64;
+    sites = [];
+    patches = [];
+    regions = [];
+    lattice = [];
+    tags = [];
+  }
+
+let enabled t = t.on ()
+
+let set_tag t k v = t.tags <- (k, v) :: List.remove_assoc k t.tags
+
+let sym_matched t ~origin ~pseudo ~symtab_entry =
+  if t.on () then
+    Hashtbl.replace t.decisions origin (Sym_matched { pseudo; symtab_entry })
+
+let loop_invariant t ~origin ~loop_id ~bexpr ~level =
+  if t.on () then
+    Hashtbl.replace t.decisions origin (Loop_invariant { loop_id; bexpr; level })
+
+let loop_range t ~origin ~loop_id ~lo ~hi ~levels =
+  if t.on () then
+    Hashtbl.replace t.decisions origin (Loop_range { loop_id; lo; hi; levels })
+
+let lattice t ~fn ~loop_id ~var ~bounds =
+  if t.on () then
+    t.lattice <-
+      { lb_fn = fn; lb_loop = loop_id; lb_var = var; lb_bounds = bounds }
+      :: t.lattice
+
+let record_site t ~slot ~origin ~fn ~write_type =
+  if t.on () then begin
+    let verdict =
+      match Hashtbl.find_opt t.decisions origin with
+      | Some v -> v
+      | None -> Kept
+    in
+    t.sites <-
+      { a_slot = slot; a_origin = origin; a_fn = fn; a_write_type = write_type;
+        a_verdict = verdict }
+      :: t.sites
+  end
+
+let patch t ~kind ~pseudo ~origin ~insn =
+  if t.on () then
+    t.patches <-
+      { p_kind = kind; p_pseudo = pseudo; p_origin = origin; p_insn = insn }
+      :: t.patches
+
+let region t ~kind ~lo ~hi ~why ~insn =
+  if t.on () then
+    t.regions <-
+      { rg_kind = kind; rg_lo = lo; rg_hi = hi; rg_why = why; rg_insn = insn }
+      :: t.regions
+
+(* --- reports ----------------------------------------------------------------- *)
+
+let schema_version = "dbp-audit/1"
+
+type report = {
+  a_schema : string;
+  a_tags : (string * string) list;
+  a_sites : site list;
+  a_patches : patch_event list;
+  a_regions : region_event list;
+  a_lattice : lattice_binding list;
+  a_summary : (string * int) list;
+}
+
+let summary_of_sites sites =
+  List.map
+    (fun name ->
+      ( name,
+        List.length
+          (List.filter (fun s -> verdict_name s.a_verdict = name) sites) ))
+    all_verdict_names
+
+let summary t = summary_of_sites t.sites
+
+let merge_summaries summaries =
+  List.map
+    (fun name ->
+      ( name,
+        List.fold_left
+          (fun acc s ->
+            acc + Option.value ~default:0 (List.assoc_opt name s))
+          0 summaries ))
+    all_verdict_names
+
+let report t =
+  let sites =
+    List.sort (fun a b -> compare a.a_slot b.a_slot) (List.rev t.sites)
+  in
+  {
+    a_schema = schema_version;
+    a_tags = List.sort (fun (a, _) (b, _) -> String.compare a b) t.tags;
+    a_sites = sites;
+    a_patches = List.rev t.patches;
+    a_regions = List.rev t.regions;
+    a_lattice = List.rev t.lattice;
+    a_summary = summary_of_sites sites;
+  }
+
+(* --- explain ------------------------------------------------------------------ *)
+
+(* Only unambiguous numerals count as addresses, so a pseudo register
+   that happens to spell a hex digit string (e.g. "c") still resolves
+   by name. *)
+let parse_addr s =
+  let is_hex =
+    String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
+  in
+  let is_dec = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s in
+  if is_hex || is_dec then int_of_string_opt s else None
+
+let site_pseudo s =
+  match s.a_verdict with Sym_matched { pseudo; _ } -> Some pseudo | _ -> None
+
+let find_sites r target =
+  let by_addr =
+    match parse_addr target with
+    | Some a -> List.filter (fun s -> s.a_origin = a) r.a_sites
+    | None -> []
+  in
+  if by_addr <> [] then by_addr
+  else List.filter (fun s -> site_pseudo s = Some target) r.a_sites
+
+let explain_site r b (s : site) =
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "site %d: store at 0x%x in %s (%s write)\n" s.a_slot s.a_origin s.a_fn
+    s.a_write_type;
+  (match s.a_verdict with
+  | Kept ->
+    p "  verdict: kept — no elimination argument applied; the write\n";
+    p "  check runs inline at every execution of this store.\n"
+  | Sym_matched { pseudo; symtab_entry } ->
+    p "  verdict: sym_matched (§4.2) — address expression matched the\n";
+    p "  symbol-table entry:\n";
+    p "    %s\n" symtab_entry;
+    p "  check eliminated; monitoring pseudo %S re-inserts it via a\n" pseudo;
+    p "  Kessler patch (PreMonitor).\n"
+  | Loop_invariant { loop_id; bexpr; level } ->
+    p "  verdict: loop_invariant (§4.3) — address invariant in loop %d\n"
+      loop_id;
+    p "  at lattice level %s; covered by one pre-header check of\n" level;
+    p "    %s\n" bexpr
+  | Loop_range { loop_id; lo; hi; levels } ->
+    p "  verdict: loop_range (§4.3, Fig. 4) — address sweeps loop %d\n" loop_id;
+    p "  over the range (bound levels %s):\n" levels;
+    p "    lo = %s\n" lo;
+    p "    hi = %s\n" hi);
+  let loop_id =
+    match s.a_verdict with
+    | Loop_invariant { loop_id; _ } | Loop_range { loop_id; _ } -> Some loop_id
+    | _ -> None
+  in
+  (match loop_id with
+  | Some id ->
+    let bindings =
+      List.filter (fun l -> l.lb_loop = id && l.lb_fn = s.a_fn) r.a_lattice
+    in
+    if bindings <> [] then begin
+      p "  lattice fixpoint (loop %d):\n" id;
+      List.iter (fun l -> p "    %-12s : %s\n" l.lb_var l.lb_bounds) bindings
+    end
+  | None -> ());
+  let patches = List.filter (fun e -> e.p_origin = s.a_origin) r.a_patches in
+  if patches <> [] then begin
+    p "  patch history:\n";
+    List.iter
+      (fun e ->
+        p "    insn %-10d %s (pseudo %s)\n" e.p_insn
+          (match e.p_kind with
+          | Patch_inserted -> "check re-inserted"
+          | Patch_removed -> "check removed")
+          e.p_pseudo)
+      patches
+  end
+
+let explain r target =
+  match find_sites r target with
+  | [] -> None
+  | sites ->
+    let b = Buffer.create 256 in
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_char b '\n';
+        explain_site r b s)
+      sites;
+    Some (Buffer.contents b)
+
+(* --- json --------------------------------------------------------------------- *)
+
+open Export
+
+let verdict_to_json = function
+  | Kept -> Obj [ ("verdict", Str "kept") ]
+  | Sym_matched { pseudo; symtab_entry } ->
+    Obj
+      [
+        ("verdict", Str "sym_matched");
+        ("pseudo", Str pseudo);
+        ("symtab_entry", Str symtab_entry);
+      ]
+  | Loop_invariant { loop_id; bexpr; level } ->
+    Obj
+      [
+        ("verdict", Str "loop_invariant");
+        ("loop", Int loop_id);
+        ("bexpr", Str bexpr);
+        ("level", Str level);
+      ]
+  | Loop_range { loop_id; lo; hi; levels } ->
+    Obj
+      [
+        ("verdict", Str "loop_range");
+        ("loop", Int loop_id);
+        ("lo", Str lo);
+        ("hi", Str hi);
+        ("levels", Str levels);
+      ]
+
+let get_field name fields =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> raise (Parse_error ("missing field " ^ name))
+
+let as_int = function
+  | Int n -> n
+  | _ -> raise (Parse_error "expected integer")
+
+let as_str = function
+  | Str s -> s
+  | _ -> raise (Parse_error "expected string")
+
+let as_obj = function
+  | Obj kvs -> kvs
+  | _ -> raise (Parse_error "expected object")
+
+let as_list = function
+  | List xs -> xs
+  | _ -> raise (Parse_error "expected array")
+
+let verdict_of_json v =
+  let f = as_obj v in
+  match as_str (get_field "verdict" f) with
+  | "kept" -> Kept
+  | "sym_matched" ->
+    Sym_matched
+      {
+        pseudo = as_str (get_field "pseudo" f);
+        symtab_entry = as_str (get_field "symtab_entry" f);
+      }
+  | "loop_invariant" ->
+    Loop_invariant
+      {
+        loop_id = as_int (get_field "loop" f);
+        bexpr = as_str (get_field "bexpr" f);
+        level = as_str (get_field "level" f);
+      }
+  | "loop_range" ->
+    Loop_range
+      {
+        loop_id = as_int (get_field "loop" f);
+        lo = as_str (get_field "lo" f);
+        hi = as_str (get_field "hi" f);
+        levels = as_str (get_field "levels" f);
+      }
+  | s -> raise (Parse_error ("bad verdict " ^ s))
+
+let site_to_json s =
+  Obj
+    [
+      ("slot", Int s.a_slot);
+      ("origin", Int s.a_origin);
+      ("fn", Str s.a_fn);
+      ("write_type", Str s.a_write_type);
+      ("provenance", verdict_to_json s.a_verdict);
+    ]
+
+let site_of_json v =
+  let f = as_obj v in
+  {
+    a_slot = as_int (get_field "slot" f);
+    a_origin = as_int (get_field "origin" f);
+    a_fn = as_str (get_field "fn" f);
+    a_write_type = as_str (get_field "write_type" f);
+    a_verdict = verdict_of_json (get_field "provenance" f);
+  }
+
+let patch_to_json e =
+  Obj
+    [
+      ( "event",
+        Str
+          (match e.p_kind with
+          | Patch_inserted -> "patch_inserted"
+          | Patch_removed -> "patch_removed") );
+      ("pseudo", Str e.p_pseudo);
+      ("origin", Int e.p_origin);
+      ("insn", Int e.p_insn);
+    ]
+
+let patch_of_json v =
+  let f = as_obj v in
+  {
+    p_kind =
+      (match as_str (get_field "event" f) with
+      | "patch_inserted" -> Patch_inserted
+      | "patch_removed" -> Patch_removed
+      | s -> raise (Parse_error ("bad patch event " ^ s)));
+    p_pseudo = as_str (get_field "pseudo" f);
+    p_origin = as_int (get_field "origin" f);
+    p_insn = as_int (get_field "insn" f);
+  }
+
+let region_to_json e =
+  Obj
+    [
+      ( "event",
+        Str
+          (match e.rg_kind with
+          | Region_created -> "region_created"
+          | Region_deleted -> "region_deleted") );
+      ("lo", Int e.rg_lo);
+      ("hi", Int e.rg_hi);
+      ("why", Str e.rg_why);
+      ("insn", Int e.rg_insn);
+    ]
+
+let region_of_json v =
+  let f = as_obj v in
+  {
+    rg_kind =
+      (match as_str (get_field "event" f) with
+      | "region_created" -> Region_created
+      | "region_deleted" -> Region_deleted
+      | s -> raise (Parse_error ("bad region event " ^ s)));
+    rg_lo = as_int (get_field "lo" f);
+    rg_hi = as_int (get_field "hi" f);
+    rg_why = as_str (get_field "why" f);
+    rg_insn = as_int (get_field "insn" f);
+  }
+
+let lattice_to_json l =
+  Obj
+    [
+      ("fn", Str l.lb_fn);
+      ("loop", Int l.lb_loop);
+      ("var", Str l.lb_var);
+      ("bounds", Str l.lb_bounds);
+    ]
+
+let lattice_of_json v =
+  let f = as_obj v in
+  {
+    lb_fn = as_str (get_field "fn" f);
+    lb_loop = as_int (get_field "loop" f);
+    lb_var = as_str (get_field "var" f);
+    lb_bounds = as_str (get_field "bounds" f);
+  }
+
+let to_json r =
+  Obj
+    [
+      ("schema", Str r.a_schema);
+      ("tags", Obj (List.map (fun (k, v) -> (k, Str v)) r.a_tags));
+      ("summary", Obj (List.map (fun (k, v) -> (k, Int v)) r.a_summary));
+      ("sites", List (List.map site_to_json r.a_sites));
+      ("patches", List (List.map patch_to_json r.a_patches));
+      ("regions", List (List.map region_to_json r.a_regions));
+      ("lattice", List (List.map lattice_to_json r.a_lattice));
+    ]
+
+let of_json v =
+  let f = as_obj v in
+  let schema = as_str (get_field "schema" f) in
+  if schema <> schema_version then
+    raise (Parse_error ("unsupported audit schema " ^ schema));
+  {
+    a_schema = schema;
+    a_tags = List.map (fun (k, v) -> (k, as_str v)) (as_obj (get_field "tags" f));
+    a_summary =
+      List.map (fun (k, v) -> (k, as_int v)) (as_obj (get_field "summary" f));
+    a_sites = List.map site_of_json (as_list (get_field "sites" f));
+    a_patches = List.map patch_of_json (as_list (get_field "patches" f));
+    a_regions = List.map region_of_json (as_list (get_field "regions" f));
+    a_lattice = List.map lattice_of_json (as_list (get_field "lattice" f));
+  }
+
+let to_json_string ?indent r = json_to_string ?indent (to_json r)
+let of_json_string s = of_json (json_of_string s)

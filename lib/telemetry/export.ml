@@ -259,6 +259,7 @@ let site_to_json (s : site_report) =
       ("kind", Str s.sr_kind);
       ("exec", Int s.sr_exec);
       ("hits", Int s.sr_hits);
+      ("patched", Int s.sr_patched);
     ]
 
 let to_json (r : report) =
@@ -321,6 +322,7 @@ let site_of_json v =
     sr_kind = as_str (get_field "kind" f);
     sr_exec = as_int (get_field "exec" f);
     sr_hits = as_int (get_field "hits" f);
+    sr_patched = as_int (get_field "patched" f);
   }
 
 let of_json v =
@@ -390,7 +392,8 @@ let to_prometheus (r : report) =
           ]
         in
         line (prefix ^ "_exec") labels s.sr_exec;
-        line (prefix ^ "_hits") labels s.sr_hits)
+        line (prefix ^ "_hits") labels s.sr_hits;
+        if s.sr_patched > 0 then line (prefix ^ "_patched") labels s.sr_patched)
       sites
   in
   site_lines "site" r.r_sites;

@@ -27,6 +27,7 @@ type counter =
   | Sites_checked
   | Sites_sym_eliminated
   | Sites_loop_eliminated
+  | Patched_check_execs
   | Probe_dispatches
   | Store_hook_dispatches
   | Load_hook_dispatches
@@ -39,8 +40,8 @@ let all_counters =
     Loop_triggers; Patches_inserted; Patches_removed; Regions_created;
     Regions_deleted; Violations; Seg_segments_allocated; Seg_words_monitored;
     Seg_arena_bytes; Sites_total; Sites_checked; Sites_sym_eliminated;
-    Sites_loop_eliminated; Probe_dispatches; Store_hook_dispatches;
-    Load_hook_dispatches; Trap_dispatches;
+    Sites_loop_eliminated; Patched_check_execs; Probe_dispatches;
+    Store_hook_dispatches; Load_hook_dispatches; Trap_dispatches;
   ]
 
 let counter_name = function
@@ -66,6 +67,7 @@ let counter_name = function
   | Sites_checked -> "sites_checked"
   | Sites_sym_eliminated -> "sites_sym_eliminated"
   | Sites_loop_eliminated -> "sites_loop_eliminated"
+  | Patched_check_execs -> "patched_check_execs"
   | Probe_dispatches -> "probe_dispatches"
   | Store_hook_dispatches -> "store_hook_dispatches"
   | Load_hook_dispatches -> "load_hook_dispatches"
@@ -150,6 +152,7 @@ type t = {
   typed : int array array;
   mutable site_exec : int array;
   mutable site_hit : int array;
+  mutable site_patched : int array;
   mutable site_type : int array;
   mutable site_kind : int array;
   mutable rsite_exec : int array;
@@ -166,6 +169,7 @@ let create ?(enabled = true) ?(ring_capacity = 0) () =
     typed = Array.init n_typed (fun _ -> Array.make n_write_types 0);
     site_exec = [||];
     site_hit = [||];
+    site_patched = [||];
     site_type = [||];
     site_kind = [||];
     rsite_exec = [||];
@@ -209,6 +213,7 @@ let alloc_sites t spec =
   let n = Array.length spec in
   t.site_exec <- Array.make n 0;
   t.site_hit <- Array.make n 0;
+  t.site_patched <- Array.make n 0;
   t.site_type <- Array.map fst spec;
   t.site_kind <- Array.map snd spec
 
@@ -228,6 +233,11 @@ let[@inline] bump_site t slot =
 let[@inline] bump_site_hit t slot =
   if t.on then t.site_hit.(slot) <- t.site_hit.(slot) + 1
 
+(* One increment at a patch-stub entry: counts executions of a
+   dynamically re-inserted (Kessler-patched) check. *)
+let[@inline] bump_site_patched t slot =
+  if t.on then t.site_patched.(slot) <- t.site_patched.(slot) + 1
+
 let[@inline] bump_read_site t slot =
   if t.on then t.rsite_exec.(slot) <- t.rsite_exec.(slot) + 1
 
@@ -236,6 +246,7 @@ let[@inline] bump_read_site_hit t slot =
 
 let site_exec t slot = t.site_exec.(slot)
 let site_hits t slot = t.site_hit.(slot)
+let site_patched t slot = t.site_patched.(slot)
 
 let set_ring_capacity t capacity = t.ring <- Ring.create ~capacity
 
@@ -246,7 +257,7 @@ let events_dropped t = Ring.dropped t.ring
 
 (* --- reports ----------------------------------------------------------------- *)
 
-let schema_version = "dbp-telemetry/1"
+let schema_version = "dbp-telemetry/2"
 
 type site_report = {
   sr_site : int;
@@ -254,6 +265,7 @@ type site_report = {
   sr_kind : string;
   sr_exec : int;
   sr_hits : int;
+  sr_patched : int;
 }
 
 type report = {
@@ -302,6 +314,7 @@ let report t =
       sum_where (fun k -> k = site_kind_sym) t.site_exec t.site_kind
     | Loop_eliminated_execs ->
       sum_where (fun k -> k = site_kind_loop) t.site_exec t.site_kind
+    | Patched_check_execs -> sum t.site_patched
     | Sites_total -> Array.length t.site_exec
     | Sites_checked -> count_kind t site_kind_checked
     | Sites_sym_eliminated -> count_kind t site_kind_sym
@@ -335,6 +348,7 @@ let report t =
       sr_kind = kind_name t.site_kind.(i);
       sr_exec = t.site_exec.(i);
       sr_hits = t.site_hit.(i);
+      sr_patched = t.site_patched.(i);
     }
   in
   let rsite i =
@@ -344,6 +358,7 @@ let report t =
       sr_kind = "read";
       sr_exec = t.rsite_exec.(i);
       sr_hits = t.rsite_hit.(i);
+      sr_patched = 0;
     }
   in
   {

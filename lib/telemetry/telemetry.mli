@@ -41,6 +41,8 @@ type counter =
   | Sites_checked
   | Sites_sym_eliminated
   | Sites_loop_eliminated
+  | Patched_check_execs     (** executions of checks re-inserted by a
+                                Kessler patch (PreMonitor) *)
   | Probe_dispatches        (** interpreter probe invocations *)
   | Store_hook_dispatches
   | Load_hook_dispatches
@@ -144,11 +146,18 @@ val bump_site : t -> int -> unit
 (** One increment on the check fast path; no-op when disabled. *)
 
 val bump_site_hit : t -> int -> unit
+
+val bump_site_patched : t -> int -> unit
+(** One increment at a patch-stub entry: counts executions of an
+    eliminated site's check after PreMonitor re-inserted it (Kessler
+    patch).  Always [<= site_exec] for the same slot. *)
+
 val bump_read_site : t -> int -> unit
 val bump_read_site_hit : t -> int -> unit
 
 val site_exec : t -> int -> int
 val site_hits : t -> int -> int
+val site_patched : t -> int -> int
 
 (** {2 Tracing} *)
 
@@ -162,7 +171,8 @@ val events_dropped : t -> int
 (** {1 Reports} *)
 
 val schema_version : string
-(** ["dbp-telemetry/1"] — bumped on any layout change. *)
+(** ["dbp-telemetry/2"] — bumped on any layout change (v2 added the
+    per-site [patched] field and the [patched_check_execs] counter). *)
 
 type site_report = {
   sr_site : int;
@@ -170,6 +180,7 @@ type site_report = {
   sr_kind : string;  (** ["checked"] / ["sym"] / ["loop"] / ["read"] *)
   sr_exec : int;
   sr_hits : int;
+  sr_patched : int;  (** executions while a patch re-inserted the check *)
 }
 
 type report = {

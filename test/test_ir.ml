@@ -332,10 +332,10 @@ let test_range_bounds_shape () =
   List.iter
     (fun (d : Ir.Bounds.store_decision) ->
       match d.disposition with
-      | Ir.Bounds.Range { lo; hi } ->
+      | Ir.Bounds.Range { lo; hi; _ } ->
         check_bool "lo evaluable" true (Ir.Bounds.evaluable p.ssa l lo);
         check_bool "hi evaluable" true (Ir.Bounds.evaluable p.ssa l hi)
-      | Ir.Bounds.Invariant { expr } ->
+      | Ir.Bounds.Invariant { expr; _ } ->
         check_bool "inv evaluable" true (Ir.Bounds.evaluable p.ssa l expr)
       | Ir.Bounds.Keep -> ())
     decisions
@@ -357,7 +357,7 @@ let test_no_bound_without_assert () =
     List.iter
       (fun (d : Ir.Bounds.store_decision) ->
         match d.disposition with
-        | Ir.Bounds.Range { lo; hi } ->
+        | Ir.Bounds.Range { lo; hi; _ } ->
           check_bool "lo evaluable" true (Ir.Bounds.evaluable p.ssa l lo);
           check_bool "hi evaluable" true (Ir.Bounds.evaluable p.ssa l hi)
         | _ -> ())
