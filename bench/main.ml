@@ -4,15 +4,16 @@
 
      dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
                                   breakeven|readwrite|ablations|smoke|
-                                  telemetry|micro|all] [-j N] [--json FILE]
-                                 [--chrome-trace FILE] [--span-set]
+                                  telemetry|replay|micro|all] [-j N]
+                                 [--json FILE] [--chrome-trace FILE]
+                                 [--span-set]
 
    Cells run on a pool of [-j] worker domains (default: [DBP_JOBS] or
    [Domain.recommended_domain_count ()]; [-j 1] is fully serial).  The
    tables printed on stdout are byte-identical for every [-j]; timing
    (wall seconds, aggregate simulated MIPS) goes to stderr, and
    [--json] writes a per-cell report including simulated-MIPS plus the
-   merged telemetry report (dbp-telemetry/2).
+   merged telemetry report (dbp-telemetry/3).
 
    Every instrumented cell's telemetry report is absorbed into its
    worker domain's sink ([Pool.telemetry_sink]); the merged summary
@@ -25,7 +26,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
   exit 2
 
 let json_escape s =
@@ -121,6 +122,7 @@ let () =
   | "ablations" -> Tables.ablations ()
   | "smoke" -> Tables.smoke ()
   | "telemetry" -> Tables.telemetry ()
+  | "replay" -> Tables.replay ()
   | "micro" -> Micro.run ()
   | "all" ->
     Tables.table1 ();
@@ -132,6 +134,7 @@ let () =
     Tables.readwrite ();
     Tables.ablations ();
     Tables.telemetry ();
+    Tables.replay ();
     Micro.run ()
   | _ -> usage ());
   (* The merged telemetry summary is a sum over per-domain sinks —

@@ -579,6 +579,153 @@ let smoke () =
         ovh)
     rows
 
+(* --- Checkpoint/replay: interval vs query latency (BENCH_replay.json) ------------ *)
+
+(* The time-travel tradeoff of DESIGN.md §9: a shorter checkpoint
+   interval costs more recording bytes but bounds how far a retroactive
+   query has to re-execute.  Every column printed on stdout is
+   simulated/deterministic (checkpoint counts, COW page/byte totals,
+   the deep-copy baseline, the exact hit, instructions replayed by the
+   query), so the table is byte-identical for every [-j] — the
+   [replay-smoke] dune alias diffs it.  Wall-clock (record and query
+   seconds) goes to the cell log and thence to [--json]
+   (BENCH_replay.json).
+
+   The deep-copy baseline is what the pre-COW [Memory.snapshot] would
+   have paid: every checkpoint copies the whole resident image.  The
+   COW figure is [Journal.captured_bytes] — pages actually copied
+   (plus register/cache overhead) with everything else shared.  The
+   acceptance bound is COW < 2x deep-copy at the default interval;
+   in practice it is far below 1x. *)
+let replay () =
+  let targets = [ ("030.matrix300", "c"); ("022.li", "mark_count") ] in
+  let intervals = [ 2_000; 10_000; 50_000 ] in
+  let cells =
+    List.concat_map
+      (fun (name, var) ->
+        match Workloads.Spec.find name with
+        | None -> failwith ("replay: unknown workload " ^ name)
+        | Some w -> List.map (fun i -> (w, var, i)) intervals)
+      targets
+  in
+  let rows =
+    Pool.map
+      (fun ((w : Workloads.Workload.t), var, interval) ->
+        let telemetry = Telemetry.create () in
+        let options = Runner.options_for w Strategy.Bitmap_inline_registers in
+        let session =
+          Session.create ~options ~telemetry ~trace:(Pool.trace_sink ())
+            ~checkpoint_every:interval w.source
+        in
+        Mrs.enable session.Session.mrs;
+        let t0 = Unix.gettimeofday () in
+        let exit_code, _ = Session.run ~fuel:Runner.fuel session in
+        let record_wall = Unix.gettimeofday () -. t0 in
+        (match w.expected_exit with
+        | Some e when e <> exit_code ->
+          failwith
+            (Printf.sprintf "%s under replay: exit %d <> expected %d" w.name
+               exit_code e)
+        | _ -> ());
+        let s = Session.stats session in
+        Runner.record
+          ~label:(Printf.sprintf "%s/replay-i%d/record" w.name interval)
+          {
+            Runner.cycles = s.Machine.Cpu.cycles;
+            instrs = s.Machine.Cpu.instrs;
+            stores = s.Machine.Cpu.stores;
+            exit_code;
+            wall_s = record_wall;
+          };
+        let r =
+          match Session.replay session with
+          | Some r -> r
+          | None -> assert false
+        in
+        let journal = Replay.journal r in
+        let snaps = Journal.snapshots journal in
+        let deep_bytes =
+          List.fold_left
+            (fun acc snap -> acc + Snapshot.bytes ~prev:None snap)
+            0 snaps
+        in
+        let cow_bytes = Journal.captured_bytes journal in
+        let addr =
+          match Session.resolve_addr session var with
+          | Some a -> a
+          | None -> failwith (Printf.sprintf "replay: no global %s" var)
+        in
+        let t1 = Unix.gettimeofday () in
+        let hit = Session.last_write session ~addr in
+        let query_wall = Unix.gettimeofday () -. t1 in
+        let lw_replayed = Replay.replayed_insns r in
+        Runner.record
+          ~label:(Printf.sprintf "%s/replay-i%d/last-write" w.name interval)
+          {
+            Runner.cycles = 0;
+            instrs = lw_replayed;
+            stores = 0;
+            exit_code;
+            wall_s = query_wall;
+          };
+        (* Travel into the middle of the run: the re-execution gap is
+           bounded by the checkpoint interval, so this column is the
+           interval-vs-latency tradeoff in its purest form. *)
+        let t2 = Unix.gettimeofday () in
+        let travel_replayed =
+          Session.time_travel session ~insn:(Replay.end_insn r / 2)
+        in
+        let travel_wall = Unix.gettimeofday () -. t2 in
+        Runner.record
+          ~label:(Printf.sprintf "%s/replay-i%d/travel-mid" w.name interval)
+          {
+            Runner.cycles = 0;
+            instrs = travel_replayed;
+            stores = 0;
+            exit_code;
+            wall_s = travel_wall;
+          };
+        Telemetry.absorb (Pool.telemetry_sink ()) (Session.report session);
+        Pool.absorb_audit_summary (Audit.summary session.Session.audit);
+        ( w,
+          var,
+          interval,
+          List.length snaps,
+          Journal.captured_delta_pages journal,
+          Journal.captured_shared_pages journal,
+          cow_bytes,
+          deep_bytes,
+          hit,
+          lw_replayed,
+          travel_replayed ))
+      cells
+  in
+  Printf.printf
+    "\n== Checkpoint/replay: interval vs retroactive-query latency (sec 9) ==\n";
+  Printf.printf "%-18s%9s%7s%7s%8s%10s%11s%7s%21s%10s%10s\n" "Programs"
+    "interval" "ckpts" "pages" "shared" "COW-B" "deep-B" "COW%" "last-write"
+    "lw-repl" "tvl-repl";
+  List.iter
+    (fun ((w : Workloads.Workload.t), var, interval, n, pages, shared, cow,
+          deep, hit, lw_replayed, travel_replayed) ->
+      let hit_str =
+        match hit with
+        | None -> var ^ ": never"
+        | Some { Session.wr_hit = h; _ } ->
+          Printf.sprintf "%s@%d" var h.Replay.h_insn
+      in
+      Printf.printf "%-18s%9d%7d%7d%8d%10d%11d%6.1f%%%21s%10d%10d\n"
+        (lang_tag w) interval n pages shared cow deep
+        (100.0 *. float_of_int cow /. float_of_int (max 1 deep))
+        hit_str lw_replayed travel_replayed)
+    rows;
+  Printf.printf
+    "(COW-B = bytes actually captured (copy-on-write deltas + register/cache\n\
+    \ state); deep-B = what per-checkpoint full-image copies would cost;\n\
+    \ lw-repl = instructions re-executed to answer the last-write query and\n\
+    \ return to the recorded end state; tvl-repl = instructions re-executed\n\
+    \ to travel to the middle of the run, bounded by the interval)\n"
+
 (* --- Telemetry overhead (BENCH_telemetry.json) ----------------------------------- *)
 
 (* Same workload and strategy, one run with the telemetry registry

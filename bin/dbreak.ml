@@ -55,7 +55,8 @@ let fail msg =
   1
 
 let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_asm
-    stats metrics trace fuel audit_file explain chrome_trace =
+    stats metrics trace fuel audit_file explain chrome_trace checkpoint_every
+    last_write travel =
   try
     let source = read_file source_file in
     let options =
@@ -75,8 +76,18 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
       let audit = Audit.create () in
       Audit.set_tag audit "source" (Filename.basename source_file);
       let tracer = Trace.create ~clock:Unix.gettimeofday () in
+      (* Retroactive queries need a checkpoint journal; arm one at the
+         default interval if the user asked for a query without giving
+         --checkpoint-every explicitly. *)
+      let checkpoint_every =
+        match checkpoint_every with
+        | Some _ as n -> n
+        | None ->
+          if last_write <> None || travel <> None then Some 10_000 else None
+      in
       let session =
-        Session.create ~options ~telemetry ~audit ~trace:tracer source
+        Session.create ~options ~telemetry ~audit ~trace:tracer
+          ?checkpoint_every source
       in
       Session.install_oracle session;
       let dbg = Debugger.create session in
@@ -136,6 +147,49 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
               e.Telemetry.ev_region_hi e.Telemetry.ev_region_kind)
           rep.Telemetry.r_events
       end;
+      let replay_failed = ref None in
+      let replay_fail msg = replay_failed := Some (fail msg) in
+      (match last_write with
+      | None -> ()
+      | Some target -> (
+        match Session.resolve_addr session target with
+        | None ->
+          replay_fail
+            (Printf.sprintf
+               "cannot resolve %S to a data address (expected 0x-hex, \
+                decimal, or a global variable name)"
+               target)
+        | Some addr -> (
+          match Session.last_write session ~addr with
+          | None ->
+            Printf.printf "--- last-write %s (0x%x): never written ---\n"
+              target addr
+          | Some { Session.wr_hit = h; wr_write_type } ->
+            Printf.printf
+              "--- last-write %s (0x%x) ---\n\
+               insn %-10d pc 0x%-8x %d -> %d  (%s write%s)\n"
+              target addr h.Replay.h_insn h.Replay.h_pc h.Replay.h_old
+              h.Replay.h_new
+              (match wr_write_type with
+              | Some wt -> Write_type.to_string wt
+              | None -> "untyped")
+              (match Debugger.function_of_pc session h.Replay.h_pc with
+              | Some f -> " in " ^ f
+              | None -> ""))));
+      (match travel with
+      | None -> ()
+      | Some insn ->
+        let re = Session.time_travel session ~insn in
+        let s = Session.stats session in
+        Printf.printf
+          "--- travel to insn %d: re-executed %d instructions, now at pc \
+           0x%x after %d instructions ---\n"
+          insn re
+          (Machine.Cpu.pc session.Session.cpu)
+          s.Machine.Cpu.instrs);
+      (* Exports come after the retroactive queries so the metrics and
+         audit journal include the checkpoint/replay lifecycle they
+         triggered. *)
       (match metrics with
       | Some path ->
         let rep = Session.report session in
@@ -151,6 +205,9 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
       (match chrome_trace with
       | Some path -> write_file path (Trace.to_chrome_string [ tracer ])
       | None -> ());
+      match !replay_failed with
+      | Some code -> code
+      | None -> (
       match explain with
       | None -> 0
       | Some target -> (
@@ -164,10 +221,17 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
             (Printf.sprintf
                "no write site matches %S (expected a site address or a \
                 sym-matched pseudo; try --audit to list them)"
-               target))
+               target)))
     end
   with
   | Sys_error m -> fail m
+  | Invalid_argument m -> fail m
+  | Replay.Determinism_violation { insn; expected; actual } ->
+    fail
+      (Printf.sprintf
+         "replay diverged from the recorded run at insn %d (digest %s, \
+          expected %s)"
+         insn actual expected)
   | Minic.Compile.Error e ->
     fail (Printf.sprintf "%s error: %s" e.Minic.Compile.phase e.message)
   | Machine.Cpu.Fault { pc; reason } ->
@@ -230,8 +294,8 @@ let audit_file_arg =
   Arg.(value & opt (some string) None & info [ "audit" ] ~docv:"FILE"
        ~doc:"Write the analysis-provenance journal (one verdict per write \
              site, patch and region lifecycle events, bound-lattice \
-             fixpoints) as versioned dbp-audit/1 JSON to $(docv) after the \
-             run.")
+             fixpoints, checkpoint/replay lifecycle) as versioned \
+             dbp-audit/2 JSON to $(docv) after the run.")
 
 let explain_arg =
   Arg.(value & opt (some string) None & info [ "explain" ]
@@ -247,6 +311,29 @@ let chrome_trace_arg =
        ~doc:"Write the pipeline phase spans (compile, lift, symopt, \
              loopopt, plan, instrument, run) as a Chrome trace_event JSON \
              array to $(docv) — loadable in Perfetto or chrome://tracing.")
+
+let checkpoint_every_arg =
+  Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"N"
+       ~doc:"Record the run through the time-travel engine, taking a \
+             copy-on-write checkpoint every $(docv) executed instructions \
+             (enables --last-write and --travel; implied at N=10000 when \
+             either is given without it).")
+
+let last_write_arg =
+  Arg.(value & opt (some string) None & info [ "last-write" ]
+       ~docv:"ADDR|VAR"
+       ~doc:"After the run, answer \"who wrote this word last?\" \
+             retroactively: restore the nearest checkpoint and re-execute \
+             under an invisible watch, reporting the exact instruction \
+             index, pc, old/new value and write type of the final store \
+             to $(docv) (0x-hex, decimal, or a global variable name).")
+
+let travel_arg =
+  Arg.(value & opt (some int) None & info [ "travel" ] ~docv:"N"
+       ~doc:"After the run, move the machine back to its state just \
+             after instruction $(docv) of the recorded execution \
+             (restore the latest checkpoint at or before it, re-execute \
+             the gap under the determinism guard).")
 
 let cmd =
   let doc = "practical data breakpoints for mini-C programs" in
@@ -267,7 +354,8 @@ let cmd =
       const run_cmd $ source_arg $ watch_arg $ strategy_arg $ opt_arg
       $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ metrics_arg
       $ trace_arg $ fuel_arg $ audit_file_arg $ explain_arg
-      $ chrome_trace_arg)
+      $ chrome_trace_arg $ checkpoint_every_arg $ last_write_arg
+      $ travel_arg)
 
 (* Conventional exit codes: 0 success (including --help/--version), 1 a
    runtime failure reported by the tool itself ({!fail}), 2 a

@@ -14,6 +14,12 @@ type t = {
   telemetry : Telemetry.t;
   audit : Audit.t;
   trace : Trace.t;
+  replay : Replay.t option;
+      (* present iff [checkpoint_every] was given: the time-travel
+         engine that [run] records through *)
+  store_pc_type : (int, Write_type.t) Hashtbl.t;
+      (* store pc (site or patch-stub label) -> write type, for
+         enriching replay hits *)
   site_slot : (int, int) Hashtbl.t;  (* origin -> telemetry array slot *)
   mutable expected_hits : (int * int) list;  (* oracle: addr, access pc *)
   functions : string list;
@@ -25,7 +31,7 @@ let site_kind_of_status = function
   | Instrument.Loop_eliminated _ -> Telemetry.site_kind_loop
 
 let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false)
-    ?telemetry ?audit ?trace source =
+    ?telemetry ?audit ?trace ?checkpoint_every ?checkpoint_budget source =
   let telemetry =
     match telemetry with Some tel -> tel | None -> Telemetry.create ()
   in
@@ -128,6 +134,34 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
             Checkgen.cache_miss_routine wt ^ "_rd";
           ])
       Write_type.all;
+  (* Time travel: when an interval is given, attach the replay engine —
+     its checkpoint/restore emissions flow into the same registry and
+     provenance journal, gated exactly like the rest of telemetry.  The
+     pc -> write-type map mirrors the oracle's: a replay hit's pc is
+     either a site label (inline store) or a patch-stub label
+     (re-inserted check), and both identify the write type recorded in
+     the plan. *)
+  let store_pc_type = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Instrument.site) ->
+      List.iter
+        (fun label ->
+          match Assembler.addr_of_label image label with
+          | Some a -> Hashtbl.replace store_pc_type a s.Instrument.write_type
+          | None -> ())
+        [
+          Instrument.site_label s.Instrument.origin;
+          Instrument.patch_label s.Instrument.origin;
+        ])
+    plan.Instrument.sites;
+  let replay =
+    match checkpoint_every with
+    | None -> None
+    | Some interval ->
+      Some
+        (Replay.create ~telemetry ~audit ?budget_bytes:checkpoint_budget
+           ~checkpoint_every:interval cpu)
+  in
   {
     plan;
     image;
@@ -137,6 +171,8 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
     telemetry;
     audit;
     trace;
+    replay;
+    store_pc_type;
     site_slot;
     expected_hits = [];
     functions = plan.Instrument.functions;
@@ -228,8 +264,66 @@ let install_oracle t =
   end
 
 let run ?fuel t =
-  let code = Trace.with_span t.trace "run" (fun () -> Cpu.run ?fuel t.cpu) in
+  let code =
+    Trace.with_span t.trace "run" (fun () ->
+        match t.replay with
+        | None -> Cpu.run ?fuel t.cpu
+        | Some r -> Replay.record ?fuel r)
+  in
   (code, Cpu.output t.cpu)
+
+(* --- time travel ------------------------------------------------------ *)
+
+let replay t = t.replay
+
+let require_replay t fn =
+  match t.replay with
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (fn ^ ": session was created without ?checkpoint_every — no journal")
+
+type write_record = {
+  wr_hit : Replay.hit;
+  wr_write_type : Write_type.t option;
+      (* [None] when the pc matches no known site (runtime/monitor
+         stores) *)
+}
+
+let enrich t (h : Replay.hit) =
+  { wr_hit = h; wr_write_type = Hashtbl.find_opt t.store_pc_type h.Replay.h_pc }
+
+let last_write ?guard t ~addr =
+  let r = require_replay t "Session.last_write" in
+  Option.map (enrich t) (Replay.last_write_word ?guard r ~addr)
+
+let write_history ?guard t ~lo ~hi =
+  let r = require_replay t "Session.write_history" in
+  List.map (enrich t) (Replay.write_history ?guard r ~lo ~hi)
+
+let time_travel ?guard t ~insn =
+  Replay.travel ?guard (require_replay t "Session.time_travel") ~insn
+
+(* Resolve a CLI watch target to an address: a 0x-hex or decimal
+   numeral, or a global variable name from the symbol table. *)
+let resolve_addr t target =
+  let numeral =
+    let is_hex =
+      String.length target > 2
+      && target.[0] = '0'
+      && (target.[1] = 'x' || target.[1] = 'X')
+    in
+    let is_dec =
+      target <> "" && String.for_all (fun c -> c >= '0' && c <= '9') target
+    in
+    if is_hex || is_dec then int_of_string_opt target else None
+  in
+  match numeral with
+  | Some a -> Some a
+  | None -> (
+    match Symtab.lookup t.symtab target with
+    | Some { Symtab.location = Symtab.Absolute a; _ } -> Some a
+    | Some _ | None -> None)
 
 let missed_hits t =
   let actual = (Mrs.counters t.mrs).Mrs.user_hits in

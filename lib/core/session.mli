@@ -11,6 +11,10 @@ type t = {
   telemetry : Telemetry.t;
   audit : Audit.t;  (** provenance journal threaded through the pipeline *)
   trace : Trace.t;  (** phase-span tracer (compile → … → run) *)
+  replay : Replay.t option;
+      (** time-travel engine, present iff [checkpoint_every] was given *)
+  store_pc_type : (int, Write_type.t) Hashtbl.t;
+      (** store pc (site or patch-stub label) → write type *)
   site_slot : (int, int) Hashtbl.t;
       (** write-site origin → telemetry array slot *)
   mutable expected_hits : (int * int) list;
@@ -24,6 +28,8 @@ val create :
   ?telemetry:Telemetry.t ->
   ?audit:Audit.t ->
   ?trace:Trace.t ->
+  ?checkpoint_every:int ->
+  ?checkpoint_budget:int ->
   string ->
   t
 (** Build a session from mini-C source.  [protect_mrs] arms the MRS's
@@ -41,11 +47,55 @@ val create :
     count patched-check executions into the registry's [site_patched]
     cells — the conservation quantity [--audit] reconciles against the
     journal.
+
+    [checkpoint_every] arms time travel: {!run} records the execution
+    through a {!Replay.t} that checkpoints (copy-on-write) every N
+    executed instructions, enabling {!last_write}/{!write_history}/
+    {!time_travel} afterwards.  Its checkpoint counters and lifecycle
+    events land in the session's registry and audit journal, gated by
+    the registry's enabled flag like everything else.
+    [checkpoint_budget] bounds the journal's retained bytes
+    (exponential-thinning eviction).
     @raise Failure if the instrumented program fails to assemble.
     @raise Minic.Compile.Error on compilation errors. *)
 
 val run : ?fuel:int -> t -> int * string
-(** Execute to completion; returns (exit code, captured output). *)
+(** Execute to completion; returns (exit code, captured output).  With
+    [checkpoint_every] set, execution is recorded through the replay
+    engine (same result, plus a checkpoint journal). *)
+
+(** {1 Time travel}
+
+    All of these raise [Invalid_argument] on a session created without
+    [checkpoint_every], and {!Replay.Determinism_violation} if a replay
+    diverges from the recorded run. *)
+
+val replay : t -> Replay.t option
+
+type write_record = {
+  wr_hit : Replay.hit;
+  wr_write_type : Write_type.t option;
+      (** [None] when the pc matches no known write site (runtime or
+          monitor-library stores) *)
+}
+
+val last_write : ?guard:bool -> t -> addr:int -> write_record option
+(** The final store of the recorded run to the word containing [addr]:
+    restores the latest checkpoint whose window contains a write and
+    re-executes under an invisible watch.  Returns the exact
+    (instruction index, pc, old/new value, write type). *)
+
+val write_history :
+  ?guard:bool -> t -> lo:int -> hi:int -> write_record list
+(** Every recorded store landing in [[lo, hi)], in execution order. *)
+
+val time_travel : ?guard:bool -> t -> insn:int -> int
+(** Move the machine to its state just after instruction [insn];
+    returns the number of re-executed instructions. *)
+
+val resolve_addr : t -> string -> int option
+(** Resolve a CLI target — [0x]-hex or decimal numeral, or a global
+    variable name — to a data address. *)
 
 val site_executions : t -> int -> int
 (** Dynamic executions of one write site (by origin). *)

@@ -22,6 +22,23 @@ let to_string = function
   | Trap_check -> "TrapCheck"
   | Hardware_watch n -> Printf.sprintf "HardwareWatch%d" n
 
+(* [HardwareWatch%d] parses for any positive register count — i386 has
+   4, SPARC/R4000 have 1, and the CLI should not hard-code the list —
+   but only all-digit suffixes with no sign, leading zeros allowed
+   (["HardwareWatch007"] is 7; ["HardwareWatch+1"], ["HardwareWatch"],
+   ["HardwareWatch0"] are rejected). *)
+let hardware_watch_of_string s =
+  let prefix = "HardwareWatch" in
+  let plen = String.length prefix in
+  if String.length s > plen && String.sub s 0 plen = prefix then
+    let digits = String.sub s plen (String.length s - plen) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      match int_of_string_opt digits with
+      | Some n when n >= 1 -> Some (Hardware_watch n)
+      | _ -> None
+    else None
+  else None
+
 let of_string = function
   | "none" -> Nocheck
   | "Bitmap" | "bitmap" -> Bitmap
@@ -31,9 +48,10 @@ let of_string = function
   | "CacheInline" | "cache-inline" -> Cache_inline
   | "HashTable" | "hash" -> Hash_table
   | "TrapCheck" | "trap" -> Trap_check
-  | "HardwareWatch1" -> Hardware_watch 1
-  | "HardwareWatch4" -> Hardware_watch 4
-  | s -> invalid_arg (Printf.sprintf "Strategy.of_string: %S" s)
+  | s -> (
+    match hardware_watch_of_string s with
+    | Some t -> t
+    | None -> invalid_arg (Printf.sprintf "Strategy.of_string: %S" s))
 
 (* Stable lowercase snake_case identifier for report tags and metric
    labels: unlike [to_string] it never needs quoting or sanitizing in

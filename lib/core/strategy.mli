@@ -36,7 +36,14 @@ val all : t list
 (** The five Table 1 variants (excluding [Nocheck]/[Hash_table]). *)
 
 val to_string : t -> string
+
 val of_string : string -> t
+(** Inverse of {!to_string} (also accepting the lowercase CLI aliases):
+    [of_string (to_string t) = t] for every constructor, including
+    [Hardware_watch n] for any [n >= 1] — ["HardwareWatch%d"] parses
+    for any positive all-digit suffix, not just the 1 and 4 the
+    hardware ships with.
+    @raise Invalid_argument on anything else. *)
 
 val tag : t -> string
 (** Stable lowercase snake_case identifier (e.g.

@@ -56,3 +56,18 @@ let reset_counters t =
 let flush t =
   Array.fill t.tags 0 t.lines invalid_tag;
   reset_counters t
+
+(* Exact state capture for checkpoint/replay: restoring tags *and*
+   counters makes re-execution from a checkpoint reproduce the original
+   run's hit/miss stream (and hence cycle counts) bit-for-bit. *)
+type snapshot = { s_tags : int array; s_hits : int; s_misses : int }
+
+let snapshot t = { s_tags = Array.copy t.tags; s_hits = t.hits; s_misses = t.misses }
+
+let restore t s =
+  if Array.length s.s_tags <> t.lines then invalid_arg "Cache.restore";
+  Array.blit s.s_tags 0 t.tags 0 t.lines;
+  t.hits <- s.s_hits;
+  t.misses <- s.s_misses
+
+let snapshot_bytes s = Array.length s.s_tags * 8

@@ -31,3 +31,18 @@ val reset_counters : t -> unit
 
 val flush : t -> unit
 (** Invalidate all lines and reset counters. *)
+
+(** {1 Checkpoint support} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy the tag array and counters.  Restoring an exact cache state is
+    what makes replayed execution reproduce the original hit/miss
+    stream — and therefore identical cycle counts — from a checkpoint. *)
+
+val restore : t -> snapshot -> unit
+(** @raise Invalid_argument if the snapshot's geometry differs. *)
+
+val snapshot_bytes : snapshot -> int
+(** Host bytes held by the snapshot's tag array (journal accounting). *)

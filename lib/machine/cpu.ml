@@ -80,6 +80,11 @@ type t = {
      step.  [patch] recompiles the slot it touches; [rollback]
      recompiles the slots whose instruction changed. *)
   mutable code : (t -> unit) array;
+  (* Monotonic text-content version, bumped by [patch] and by any
+     [rollback] that changes text.  Checkpoints taken while no patching
+     happens between them share a single text copy (see [text_copy]). *)
+  mutable text_version : int;
+  mutable text_snap : (int * Insn.t array) option;
 }
 
 let faultf t fmt =
@@ -660,6 +665,8 @@ let create ?(config = default_config) (image : Assembler.image) =
       load_hooks = [||];
       nload_hooks = 0;
       code = Array.mapi (compile image.text_base) text;
+      text_version = 0;
+      text_snap = None;
     }
   in
   Windows.set t.win Reg.sp 0x7FFF_FF00;
@@ -668,7 +675,8 @@ let create ?(config = default_config) (image : Assembler.image) =
 let patch t addr insn =
   let i = text_index t addr in
   t.text.(i) <- insn;
-  t.code.(i) <- compile t.text_base i insn
+  t.code.(i) <- compile t.text_base i insn;
+  t.text_version <- t.text_version + 1
 
 let step t =
   let off = t.pc - t.text_base in
@@ -723,10 +731,17 @@ let mem t = t.mem
 let config t = t.config
 
 (* Checkpoint/replay support (the paper's §5 mentions checkpointing
-   data for replayed execution as a data-breakpoint application). *)
+   data for replayed execution as a data-breakpoint application).
+   Checkpoints are copy-on-write: capturing memory is O(1) via
+   {!Memory.snapshot_cow}; only pages the run subsequently dirties get
+   copied, and adjacent checkpoints share every untouched page.  The
+   cache (tags *and* counters) and window spill/fill counters are
+   captured exactly, so re-execution from a checkpoint reproduces the
+   original run's [stats] bit-for-bit. *)
 type checkpoint = {
-  cp_mem : Memory.t;
+  cp_mem : Memory.view;
   cp_win : Windows.t;
+  cp_cache : Cache.snapshot;
   cp_pc : int;
   cp_icc : int;
   cp_halted : int option;
@@ -737,14 +752,27 @@ type checkpoint = {
   cp_nbranches : int;
   cp_ntraps : int;
   cp_text : Insn.t array;
+      (* shared between checkpoints while no patching intervenes *)
+  cp_text_version : int;
   cp_out : string;
   cp_brk : int;
 }
 
+(* One text copy per text version: checkpoints taken while no [patch]
+   intervened share the same array. *)
+let text_copy t =
+  match t.text_snap with
+  | Some (v, arr) when v = t.text_version -> arr
+  | _ ->
+    let arr = Array.copy t.text in
+    t.text_snap <- Some (t.text_version, arr);
+    arr
+
 let checkpoint t =
   {
-    cp_mem = Memory.snapshot t.mem;
+    cp_mem = Memory.snapshot_cow t.mem;
     cp_win = Windows.copy t.win;
+    cp_cache = Cache.snapshot t.cache;
     cp_pc = t.pc;
     cp_icc = t.icc;
     cp_halted = t.halted;
@@ -754,13 +782,14 @@ let checkpoint t =
     cp_nstores = t.nstores;
     cp_nbranches = t.nbranches;
     cp_ntraps = t.ntraps;
-    cp_text = Array.copy t.text;
+    cp_text = text_copy t;
+    cp_text_version = t.text_version;
     cp_out = Buffer.contents t.out;
     cp_brk = t.brk;
   }
 
 let rollback t cp =
-  Memory.restore t.mem cp.cp_mem;
+  Memory.restore_cow t.mem cp.cp_mem;
   Windows.restore_from t.win cp.cp_win;
   t.pc <- cp.cp_pc;
   t.icc <- cp.cp_icc;
@@ -771,22 +800,89 @@ let rollback t cp =
   t.nstores <- cp.cp_nstores;
   t.nbranches <- cp.cp_nbranches;
   t.ntraps <- cp.cp_ntraps;
-  for i = 0 to Array.length t.text - 1 do
-    let insn = cp.cp_text.(i) in
-    (* [Insn.t] values are immutable, so a physically unchanged slot
-       still has a valid pre-decoded closure; only recompile slots the
-       run actually patched. *)
-    if insn != t.text.(i) then begin
-      t.text.(i) <- insn;
-      t.code.(i) <- compile t.text_base i insn
-    end
-  done;
+  if cp.cp_text_version <> t.text_version then begin
+    for i = 0 to Array.length t.text - 1 do
+      let insn = cp.cp_text.(i) in
+      (* [Insn.t] values are immutable, so a physically unchanged slot
+         still has a valid pre-decoded closure; only recompile slots the
+         run actually patched. *)
+      if insn != t.text.(i) then begin
+        t.text.(i) <- insn;
+        t.code.(i) <- compile t.text_base i insn
+      end
+    done;
+    (* Text now equals [cp_text]; give it a fresh monotonic version so a
+       stale cached copy can never be mistaken for the current text, and
+       seed the cache with [cp_text] itself (it is a valid copy). *)
+    t.text_version <- t.text_version + 1;
+    t.text_snap <- Some (t.text_version, cp.cp_text)
+  end;
   Buffer.clear t.out;
   Buffer.add_string t.out cp.cp_out;
   t.brk <- cp.cp_brk;
-  (* The cache holds no architectural state; flushing makes the replay
-     deterministic from the checkpoint. *)
-  Cache.flush t.cache
+  (* Exact cache restoration — tags and hit/miss counters — so replayed
+     cycle counts match the original run exactly. *)
+  Cache.restore t.cache cp.cp_cache
+
+let checkpoint_view cp = cp.cp_mem
+let checkpoint_insns cp = cp.cp_ninstrs
+
+let checkpoint_overhead_bytes cp =
+  (* Fixed (non-page) cost of one checkpoint: cache tags, window
+     frames (8 globals + 24 words per frame), captured output, and the
+     scalar fields.  Page bytes are accounted separately by the journal
+     via {!Memory.view_diff}. *)
+  Cache.snapshot_bytes cp.cp_cache
+  + ((8 + (Windows.depth cp.cp_win * 24)) * 8)
+  + String.length cp.cp_out + (15 * 8)
+
+(* Architectural-state digest for the replay determinism guard: pc,
+   condition codes, heap break, halt status, captured output, the full
+   register-window stack and every nonzero memory page in ascending
+   address order.  Execution counters and cache state are deliberately
+   excluded — tests compare [stats] separately — and all-zero pages are
+   skipped so that page-materialization differences between a run and
+   its replay cannot perturb the digest. *)
+let all_zero arr =
+  let n = Array.length arr in
+  let rec go i = i >= n || (Array.unsafe_get arr i = 0 && go (i + 1)) in
+  go 0
+
+let state_digest t =
+  let b = Buffer.create 65536 in
+  let add_int v = Buffer.add_int64_le b (Int64.of_int v) in
+  add_int t.pc;
+  add_int t.icc;
+  add_int t.brk;
+  (match t.halted with
+  | None -> add_int min_int
+  | Some c ->
+    add_int 1;
+    add_int c);
+  add_int (Buffer.length t.out);
+  Buffer.add_buffer b t.out;
+  let w = t.win in
+  Array.iter add_int w.Windows.globals;
+  add_int w.Windows.depth;
+  add_int w.Windows.resident;
+  List.iter
+    (fun (f : Windows.frame) ->
+      Array.iter add_int f.Windows.locals;
+      Array.iter add_int f.Windows.ins;
+      Array.iter add_int f.Windows.outs)
+    w.Windows.frames;
+  let pages = ref [] in
+  Memory.iter_pages t.mem (fun key arr ->
+      if not (all_zero arr) then pages := (key, arr) :: !pages);
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare (a : int) b) !pages
+  in
+  List.iter
+    (fun (key, arr) ->
+      add_int key;
+      Array.iter add_int arr)
+    sorted;
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes b))
 let pc t = t.pc
 let set_pc t pc = t.pc <- pc
 let brk t = t.brk

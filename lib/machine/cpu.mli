@@ -109,13 +109,38 @@ val set_load_hook : t -> (t -> addr:int -> width:Sparc.Insn.width -> unit) -> un
 type checkpoint
 
 val checkpoint : t -> checkpoint
-(** Capture the entire architectural state — memory, windows, pc, flags,
-    patched text, output, counters (§5: checkpointing for replayed
-    execution). *)
+(** Capture the entire architectural state — memory, windows, cache,
+    pc, flags, patched text, output, counters (§5: checkpointing for
+    replayed execution).  Copy-on-write: memory capture is O(1); only
+    pages dirtied after the checkpoint get copied, and checkpoints
+    taken back-to-back share every untouched page (and, absent
+    patching, one text copy). *)
 
 val rollback : t -> checkpoint -> unit
-(** Restore a checkpoint; subsequent execution replays deterministically
-    (the cache is flushed, so cycle counts may differ slightly). *)
+(** Restore a checkpoint exactly — including cache tags and hit/miss
+    counters — so subsequent execution replays the original run
+    deterministically, reproducing {!stats} bit-for-bit.  O(resident
+    pages) table rebuild; restored pages stay shared with the
+    checkpoint and are copied back out lazily on write. *)
+
+val checkpoint_view : checkpoint -> Memory.view
+(** The memory view captured by the checkpoint (page-sharing
+    accounting: {!Memory.view_diff} between adjacent checkpoints). *)
+
+val checkpoint_insns : checkpoint -> int
+(** Instruction count at capture time — the replay journal's key. *)
+
+val checkpoint_overhead_bytes : checkpoint -> int
+(** Fixed non-page cost of the checkpoint (cache tags, window frames,
+    captured output, scalars); page bytes are the journal's to count. *)
+
+val state_digest : t -> string
+(** Hex digest of the architectural state: pc, flags, break, halt
+    status, output, register windows, and every nonzero memory page in
+    address order.  Execution counters and cache state are excluded
+    (compare {!stats} separately); all-zero pages are skipped so page
+    materialization cannot perturb it.  The replay determinism guard
+    compares this at the replay target against the original run. *)
 
 type stats = {
   instrs : int;

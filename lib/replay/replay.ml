@@ -1,0 +1,294 @@
+open Sparc
+open Machine
+
+(* Time-travel engine: record a run while checkpointing it at an
+   instruction-count interval, then answer retroactive queries by
+   restoring the nearest checkpoint and re-executing.
+
+   The watchpoint used during re-execution is *host-side*: a store
+   hook that observes effective addresses after each store, exactly
+   like the hardware-watchpoint strategy's oracle.  Nothing is written
+   into simulated memory and no trap instruction runs, so the replayed
+   program's architectural outcome is byte-identical whether or not a
+   watch is armed (Price's virtual-breakpoint invisibility property) —
+   which is precisely what lets the determinism guard hold during
+   queries. *)
+
+type hit = {
+  h_insn : int;  (* instruction count including the store *)
+  h_pc : int;  (* pc of the store instruction *)
+  h_addr : int;  (* word-aligned address written *)
+  h_old : int;
+  h_new : int;
+  h_width : Insn.width;
+}
+
+exception Determinism_violation of {
+  insn : int;
+  expected : string;
+  actual : string;
+}
+
+type t = {
+  cpu : Cpu.t;
+  journal : Journal.t;
+  telemetry : Telemetry.t;
+  audit : Audit.t;
+  digests : bool;
+  mutable seq : int;
+  mutable end_insn : int;
+  mutable exit_code : int option;
+  mutable recorded : bool;
+  (* Watch state shared with the store hook installed at [create]
+     (hooks are append-only, so one hook with an [armed] flag). *)
+  mutable armed : bool;
+  mutable watch_lo : int;
+  mutable watch_hi : int;  (* exclusive *)
+  shadow : (int, int) Hashtbl.t;  (* watched word -> current value *)
+  mutable hits : hit list;  (* newest first; reset on arm *)
+  mutable replayed : int;
+}
+
+let off_telemetry () = Telemetry.create ~enabled:false ()
+let off_audit () = Audit.create ~enabled:(fun () -> false) ()
+
+let create ?telemetry ?audit ?budget_bytes ?(digests = true)
+    ?(checkpoint_every = 10_000) cpu =
+  let telemetry =
+    match telemetry with Some t -> t | None -> off_telemetry ()
+  in
+  let audit = match audit with Some a -> a | None -> off_audit () in
+  let on_evict snap =
+    Telemetry.incr telemetry Telemetry.Checkpoint_evictions;
+    Audit.replay audit ~kind:Audit.Checkpoint_evicted
+      ~insn:(Snapshot.insn snap)
+      ~detail:(Printf.sprintf "seq=%d" (Snapshot.seq snap))
+  in
+  let journal =
+    Journal.create ~on_evict ?budget_bytes ~interval:checkpoint_every ()
+  in
+  let t =
+    {
+      cpu;
+      journal;
+      telemetry;
+      audit;
+      digests;
+      seq = 0;
+      end_insn = 0;
+      exit_code = None;
+      recorded = false;
+      armed = false;
+      watch_lo = 0;
+      watch_hi = 0;
+      shadow = Hashtbl.create 64;
+      hits = [];
+      replayed = 0;
+    }
+  in
+  Cpu.set_store_hook cpu (fun cpu ~addr ~width ->
+      if t.armed then begin
+        let last = addr + Insn.width_bytes width in
+        let w = ref (addr land lnot 3) in
+        while !w < last do
+          (* Word [w] overlaps the watched byte range [lo, hi)? *)
+          if !w + 4 > t.watch_lo && !w < t.watch_hi then begin
+            let nv = Memory.read_word (Cpu.mem cpu) !w in
+            let ov =
+              match Hashtbl.find_opt t.shadow !w with Some v -> v | None -> 0
+            in
+            t.hits <-
+              {
+                h_insn = Cpu.instr_count cpu;
+                h_pc = Cpu.pc cpu;
+                h_addr = !w;
+                h_old = ov;
+                h_new = nv;
+                h_width = width;
+              }
+              :: t.hits;
+            Hashtbl.replace t.shadow !w nv
+          end;
+          w := !w + 4
+        done
+      end);
+  t
+
+let cpu t = t.cpu
+let journal t = t.journal
+let end_insn t = t.end_insn
+let exit_code t = t.exit_code
+let recorded t = t.recorded
+let replayed_insns t = t.replayed
+let interval t = Journal.interval t.journal
+
+(* --- recording -------------------------------------------------------- *)
+
+let take_checkpoint t =
+  let snap = Snapshot.capture ~digest:t.digests ~seq:t.seq t.cpu in
+  t.seq <- t.seq + 1;
+  let d0 = Journal.captured_delta_pages t.journal in
+  let s0 = Journal.captured_shared_pages t.journal in
+  let b0 = Journal.captured_bytes t.journal in
+  Journal.record t.journal snap;
+  Telemetry.incr t.telemetry Telemetry.Checkpoints_taken;
+  Telemetry.add t.telemetry Telemetry.Checkpoint_pages_copied
+    (Journal.captured_delta_pages t.journal - d0);
+  Telemetry.add t.telemetry Telemetry.Checkpoint_pages_shared
+    (Journal.captured_shared_pages t.journal - s0);
+  Telemetry.add t.telemetry Telemetry.Checkpoint_bytes
+    (Journal.captured_bytes t.journal - b0);
+  Audit.replay t.audit ~kind:Audit.Checkpoint_taken ~insn:(Snapshot.insn snap)
+    ~detail:
+      (Printf.sprintf "pages=%d shared=%d bytes=%d"
+         (Journal.captured_delta_pages t.journal - d0)
+         (Journal.captured_shared_pages t.journal - s0)
+         (Journal.captured_bytes t.journal - b0));
+  snap
+
+let record ?(fuel = 200_000_000) t =
+  if t.recorded then invalid_arg "Replay.record: run already recorded";
+  ignore (take_checkpoint t);
+  let executed = ref 0 in
+  let interval = Journal.interval t.journal in
+  while Cpu.halted t.cpu = None && !executed < fuel do
+    let boundary = Cpu.instr_count t.cpu + interval in
+    while
+      Cpu.halted t.cpu = None
+      && Cpu.instr_count t.cpu < boundary
+      && !executed < fuel
+    do
+      Cpu.step t.cpu;
+      incr executed
+    done;
+    ignore (take_checkpoint t)
+  done;
+  match Cpu.halted t.cpu with
+  | None -> raise (Cpu.Out_of_fuel { executed = !executed })
+  | Some code ->
+    t.end_insn <- Cpu.instr_count t.cpu;
+    t.exit_code <- Some code;
+    t.recorded <- true;
+    code
+
+(* --- travel ----------------------------------------------------------- *)
+
+let restore_to t snap ~target =
+  Snapshot.restore t.cpu snap;
+  Telemetry.incr t.telemetry Telemetry.Restores;
+  Audit.replay t.audit ~kind:Audit.State_restored ~insn:(Snapshot.insn snap)
+    ~detail:(Printf.sprintf "target=%d" target)
+
+(* Step to [insn]; if a retained checkpoint exists exactly there, check
+   the digest (the determinism guard). *)
+let exec_to ?(guard = true) t ~insn =
+  let replayed = ref 0 in
+  while Cpu.instr_count t.cpu < insn && Cpu.halted t.cpu = None do
+    Cpu.step t.cpu;
+    incr replayed
+  done;
+  t.replayed <- t.replayed + !replayed;
+  Telemetry.add t.telemetry Telemetry.Replayed_instrs !replayed;
+  if Cpu.instr_count t.cpu <> insn then
+    failwith
+      (Printf.sprintf
+         "Replay: re-execution diverged: halted at insn %d before target %d"
+         (Cpu.instr_count t.cpu) insn);
+  if guard then begin
+    match Journal.find t.journal ~insn with
+    | Some target_snap -> (
+      match Snapshot.digest target_snap with
+      | Some expected ->
+        let actual = Cpu.state_digest t.cpu in
+        if actual <> expected then
+          raise (Determinism_violation { insn; expected; actual })
+      | None -> ())
+    | None -> ()
+  end;
+  Audit.replay t.audit ~kind:Audit.Replay_finished ~insn
+    ~detail:(Printf.sprintf "replayed=%d" !replayed);
+  !replayed
+
+let replay_from ?guard t snap ~insn =
+  if not t.recorded then invalid_arg "Replay.replay_from: record the run first";
+  if insn < Snapshot.insn snap || insn > t.end_insn then
+    invalid_arg "Replay.replay_from: target outside [snapshot, end]";
+  restore_to t snap ~target:insn;
+  exec_to ?guard t ~insn
+
+let travel ?guard t ~insn =
+  if not t.recorded then invalid_arg "Replay.travel: record the run first";
+  if insn < 0 || insn > t.end_insn then
+    invalid_arg "Replay.travel: target outside the recorded run";
+  match Journal.nearest t.journal ~insn with
+  | None -> invalid_arg "Replay.travel: no checkpoint at or before target"
+  | Some snap ->
+    restore_to t snap ~target:insn;
+    exec_to ?guard t ~insn
+
+(* --- retroactive queries ---------------------------------------------- *)
+
+let arm t ~lo ~hi =
+  if lo >= hi then invalid_arg "Replay.arm: empty range";
+  Hashtbl.reset t.shadow;
+  let w = ref (lo land lnot 3) in
+  while !w < hi do
+    Hashtbl.replace t.shadow !w (Memory.read_word (Cpu.mem t.cpu) !w);
+    w := !w + 4
+  done;
+  t.watch_lo <- lo;
+  t.watch_hi <- hi;
+  t.hits <- [];
+  t.armed <- true
+
+let disarm t = t.armed <- false
+
+let hits t = List.rev t.hits
+
+(* Scan checkpoint windows newest-first; the first window containing a
+   hit holds the final write (Transition-Watchpoints search order).
+   The machine is left at the recorded end state. *)
+let last_write ?guard t ~lo ~hi =
+  if not t.recorded then invalid_arg "Replay.last_write: record the run first";
+  let snaps = Array.of_list (Journal.snapshots t.journal) in
+  let n = Array.length snaps in
+  let result = ref None in
+  let i = ref (n - 1) in
+  while !result = None && !i >= 1 do
+    let start = snaps.(!i - 1) in
+    let stop = Snapshot.insn snaps.(!i) in
+    restore_to t start ~target:stop;
+    arm t ~lo ~hi;
+    let fin () = disarm t in
+    (try ignore (exec_to ?guard t ~insn:stop)
+     with e ->
+       fin ();
+       raise e);
+    fin ();
+    (match t.hits with [] -> () | newest :: _ -> result := Some newest);
+    decr i
+  done;
+  ignore (travel ?guard t ~insn:t.end_insn);
+  !result
+
+let last_write_word ?guard t ~addr =
+  let lo = addr land lnot 3 in
+  last_write ?guard t ~lo ~hi:(lo + 4)
+
+(* Full history: replay the whole run once with the watch armed. *)
+let write_history ?guard t ~lo ~hi =
+  if not t.recorded then
+    invalid_arg "Replay.write_history: record the run first";
+  match Journal.snapshots t.journal with
+  | [] -> []
+  | first :: _ ->
+    restore_to t first ~target:t.end_insn;
+    arm t ~lo ~hi;
+    (try ignore (exec_to ?guard t ~insn:t.end_insn)
+     with e ->
+       disarm t;
+       raise e);
+    disarm t;
+    let collected = hits t in
+    t.hits <- [];
+    collected

@@ -1,0 +1,51 @@
+(** One checkpoint of the whole machine, tagged for the replay journal.
+
+    Wraps {!Machine.Cpu.checkpoint} — a copy-on-write capture of memory
+    (O(1); pages are generation-tagged and shared between snapshots
+    until a write separates them), register windows, cache tags and
+    counters, patched text and output — with the metadata the journal
+    and the determinism guard need: the executed-instruction count at
+    capture (the journal key), a capture-order sequence number, and the
+    architectural {!Machine.Cpu.state_digest}.
+
+    Because the MRS keeps all its visible state (segment bitmap,
+    region table, enable word) in simulated memory, a snapshot captures
+    the MRS for free: restoring one restores the monitoring state the
+    original run had at that instant. *)
+
+type t
+
+val capture : ?digest:bool -> seq:int -> Machine.Cpu.t -> t
+(** Snapshot the machine now.  [digest] (default true) records the
+    architectural digest for the replay determinism guard; pass [false]
+    to skip the O(memory) hash when only rollback is needed.  [seq] is
+    the caller-assigned capture order (kept per replay instance so
+    parallel bench domains share no state). *)
+
+val restore : Machine.Cpu.t -> t -> unit
+(** Exact rollback, including cache state — replay from here reproduces
+    the original run's {!Machine.Cpu.stats} bit-for-bit. *)
+
+val insn : t -> int
+(** Executed-instruction count at capture — the journal key. *)
+
+val seq : t -> int
+(** Global capture order (deterministic eviction tie-break). *)
+
+val digest : t -> string option
+
+val view : t -> Machine.Memory.view
+
+val pages : t -> int
+(** Pages resident in the captured view (shared or private). *)
+
+val delta_pages : prev:t option -> t -> int
+(** Pages not physically shared with [prev] — what this snapshot
+    actually cost to retain, given its predecessor is retained too. *)
+
+val shared_pages : prev:t option -> t -> int
+(** [pages t - delta_pages ~prev t]. *)
+
+val bytes : prev:t option -> t -> int
+(** Attributed size: delta pages plus the fixed per-checkpoint overhead
+    (cache tags, windows, output, scalars). *)

@@ -57,6 +57,24 @@ type lattice_binding = {
   lb_bounds : string;
 }
 
+type replay_kind =
+  | Checkpoint_taken
+  | Checkpoint_evicted
+  | State_restored
+  | Replay_finished
+
+let replay_kind_name = function
+  | Checkpoint_taken -> "checkpoint_taken"
+  | Checkpoint_evicted -> "checkpoint_evicted"
+  | State_restored -> "state_restored"
+  | Replay_finished -> "replay_finished"
+
+type replay_event = {
+  rp_kind : replay_kind;
+  rp_insn : int;
+  rp_detail : string;
+}
+
 type t = {
   on : unit -> bool;
   decisions : (int, verdict) Hashtbl.t;  (* origin -> pending verdict *)
@@ -64,6 +82,7 @@ type t = {
   mutable patches : patch_event list;  (* newest first *)
   mutable regions : region_event list;  (* newest first *)
   mutable lattice : lattice_binding list;  (* newest first *)
+  mutable replay : replay_event list;  (* newest first *)
   mutable tags : (string * string) list;
 }
 
@@ -75,6 +94,7 @@ let create ?(enabled = fun () -> true) () =
     patches = [];
     regions = [];
     lattice = [];
+    replay = [];
     tags = [];
   }
 
@@ -125,9 +145,13 @@ let region t ~kind ~lo ~hi ~why ~insn =
       { rg_kind = kind; rg_lo = lo; rg_hi = hi; rg_why = why; rg_insn = insn }
       :: t.regions
 
+let replay t ~kind ~insn ~detail =
+  if t.on () then
+    t.replay <- { rp_kind = kind; rp_insn = insn; rp_detail = detail } :: t.replay
+
 (* --- reports ----------------------------------------------------------------- *)
 
-let schema_version = "dbp-audit/1"
+let schema_version = "dbp-audit/2"
 
 type report = {
   a_schema : string;
@@ -136,6 +160,7 @@ type report = {
   a_patches : patch_event list;
   a_regions : region_event list;
   a_lattice : lattice_binding list;
+  a_replay : replay_event list;
   a_summary : (string * int) list;
 }
 
@@ -170,6 +195,7 @@ let report t =
     a_patches = List.rev t.patches;
     a_regions = List.rev t.regions;
     a_lattice = List.rev t.lattice;
+    a_replay = List.rev t.replay;
     a_summary = summary_of_sites sites;
   }
 
@@ -432,6 +458,28 @@ let lattice_of_json v =
     lb_bounds = as_str (get_field "bounds" f);
   }
 
+let replay_to_json e =
+  Obj
+    [
+      ("event", Str (replay_kind_name e.rp_kind));
+      ("insn", Int e.rp_insn);
+      ("detail", Str e.rp_detail);
+    ]
+
+let replay_of_json v =
+  let f = as_obj v in
+  {
+    rp_kind =
+      (match as_str (get_field "event" f) with
+      | "checkpoint_taken" -> Checkpoint_taken
+      | "checkpoint_evicted" -> Checkpoint_evicted
+      | "state_restored" -> State_restored
+      | "replay_finished" -> Replay_finished
+      | s -> raise (Parse_error ("bad replay event " ^ s)));
+    rp_insn = as_int (get_field "insn" f);
+    rp_detail = as_str (get_field "detail" f);
+  }
+
 let to_json r =
   Obj
     [
@@ -442,6 +490,7 @@ let to_json r =
       ("patches", List (List.map patch_to_json r.a_patches));
       ("regions", List (List.map region_to_json r.a_regions));
       ("lattice", List (List.map lattice_to_json r.a_lattice));
+      ("replay", List (List.map replay_to_json r.a_replay));
     ]
 
 let of_json v =
@@ -458,6 +507,7 @@ let of_json v =
     a_patches = List.map patch_of_json (as_list (get_field "patches" f));
     a_regions = List.map region_of_json (as_list (get_field "regions" f));
     a_lattice = List.map lattice_of_json (as_list (get_field "lattice" f));
+    a_replay = List.map replay_of_json (as_list (get_field "replay" f));
   }
 
 let to_json_string ?indent r = json_to_string ?indent (to_json r)

@@ -10,7 +10,7 @@
 
     The journal is append-only during analysis and execution, snapshot
     into an immutable {!report} afterwards, and rendered as versioned
-    ["dbp-audit/1"] JSON that round-trips through {!of_json_string}.
+    ["dbp-audit/2"] JSON that round-trips through {!of_json_string}.
     All analysis payloads (bound expressions, lattice values, symbol
     table entries) are carried as pre-rendered strings so this library
     stays dependency-free.
@@ -85,6 +85,23 @@ type lattice_binding = {
   lb_bounds : string;  (** fixpoint lattice value, pre-rendered *)
 }
 
+(** Checkpoint/replay lifecycle (v2): one event per journal mutation
+    and per time-travel, so a surprising query answer can be traced to
+    the checkpoints and re-executions that produced it. *)
+type replay_kind =
+  | Checkpoint_taken
+  | Checkpoint_evicted  (** thinned out of the journal under budget *)
+  | State_restored  (** rollback to a checkpoint *)
+  | Replay_finished  (** a travel/query re-execution reached its target *)
+
+val replay_kind_name : replay_kind -> string
+
+type replay_event = {
+  rp_kind : replay_kind;
+  rp_insn : int;  (** instruction count the event refers to *)
+  rp_detail : string;  (** pre-rendered payload, e.g. ["pages=12 bytes=49320"] *)
+}
+
 (** {1 Journals} *)
 
 type t
@@ -130,10 +147,12 @@ val patch : t -> kind:patch_kind -> pseudo:string -> origin:int -> insn:int -> u
 val region :
   t -> kind:region_kind -> lo:int -> hi:int -> why:string -> insn:int -> unit
 
+val replay : t -> kind:replay_kind -> insn:int -> detail:string -> unit
+
 (** {1 Reports} *)
 
 val schema_version : string
-(** ["dbp-audit/1"]. *)
+(** ["dbp-audit/2"] — v2 added the [replay] lifecycle events. *)
 
 type report = {
   a_schema : string;
@@ -142,6 +161,7 @@ type report = {
   a_patches : patch_event list;
   a_regions : region_event list;
   a_lattice : lattice_binding list;
+  a_replay : replay_event list;
   a_summary : (string * int) list;
       (** verdict-name [->] site count, canonical order, all four
           present *)

@@ -32,6 +32,14 @@ type counter =
   | Store_hook_dispatches
   | Load_hook_dispatches
   | Trap_dispatches
+  (* Checkpoint/replay subsystem (v3). *)
+  | Checkpoints_taken
+  | Checkpoint_pages_copied
+  | Checkpoint_pages_shared
+  | Checkpoint_bytes
+  | Checkpoint_evictions
+  | Restores
+  | Replayed_instrs
 
 let all_counters =
   [
@@ -42,6 +50,8 @@ let all_counters =
     Seg_arena_bytes; Sites_total; Sites_checked; Sites_sym_eliminated;
     Sites_loop_eliminated; Patched_check_execs; Probe_dispatches;
     Store_hook_dispatches; Load_hook_dispatches; Trap_dispatches;
+    Checkpoints_taken; Checkpoint_pages_copied; Checkpoint_pages_shared;
+    Checkpoint_bytes; Checkpoint_evictions; Restores; Replayed_instrs;
   ]
 
 let counter_name = function
@@ -72,6 +82,13 @@ let counter_name = function
   | Store_hook_dispatches -> "store_hook_dispatches"
   | Load_hook_dispatches -> "load_hook_dispatches"
   | Trap_dispatches -> "trap_dispatches"
+  | Checkpoints_taken -> "checkpoints_taken"
+  | Checkpoint_pages_copied -> "checkpoint_pages_copied"
+  | Checkpoint_pages_shared -> "checkpoint_pages_shared"
+  | Checkpoint_bytes -> "checkpoint_bytes"
+  | Checkpoint_evictions -> "checkpoint_evictions"
+  | Restores -> "restores"
+  | Replayed_instrs -> "replayed_instrs"
 
 let counter_index =
   let tbl = Hashtbl.create 32 in
@@ -257,7 +274,7 @@ let events_dropped t = Ring.dropped t.ring
 
 (* --- reports ----------------------------------------------------------------- *)
 
-let schema_version = "dbp-telemetry/2"
+let schema_version = "dbp-telemetry/3"
 
 type site_report = {
   sr_site : int;

@@ -47,6 +47,13 @@ type counter =
   | Store_hook_dispatches
   | Load_hook_dispatches
   | Trap_dispatches
+  | Checkpoints_taken       (** COW checkpoints captured (v3) *)
+  | Checkpoint_pages_copied (** pages physically captured (COW deltas) *)
+  | Checkpoint_pages_shared (** pages shared with the previous checkpoint *)
+  | Checkpoint_bytes        (** attributed checkpoint bytes at capture *)
+  | Checkpoint_evictions    (** journal entries thinned under budget *)
+  | Restores                (** checkpoint rollbacks performed *)
+  | Replayed_instrs         (** instructions re-executed by travels/queries *)
 
 val all_counters : counter list
 (** Canonical order used by every report and export format. *)
@@ -171,8 +178,11 @@ val events_dropped : t -> int
 (** {1 Reports} *)
 
 val schema_version : string
-(** ["dbp-telemetry/2"] — bumped on any layout change (v2 added the
-    per-site [patched] field and the [patched_check_execs] counter). *)
+(** ["dbp-telemetry/3"] — bumped on any layout change (v2 added the
+    per-site [patched] field and the [patched_check_execs] counter; v3
+    the checkpoint/replay counters [checkpoints_taken],
+    [checkpoint_pages_copied]/[_shared], [checkpoint_bytes],
+    [checkpoint_evictions], [restores] and [replayed_instrs]). *)
 
 type site_report = {
   sr_site : int;

@@ -385,6 +385,82 @@ let test_mrs_pseudo_home () =
   | _ -> Alcotest.fail "local home");
   check_bool "unknown" true (Mrs.pseudo_home_of_symtab symtab "zzz" = None)
 
+(* --- Strategy: string round trip --------------------------------------------- *)
+
+(* Every constructor — including [Hardware_watch n] for arbitrary
+   positive register counts, not just the 1 and 4 real hardware ships
+   with — must survive [to_string]/[of_string], and garbage must be
+   rejected rather than defaulted. *)
+let strategy_arb =
+  QCheck.make ~print:Strategy.to_string
+    QCheck.Gen.(
+      frequency
+        [
+          ( 4,
+            oneofl
+              [
+                Strategy.Nocheck;
+                Strategy.Bitmap;
+                Strategy.Bitmap_inline;
+                Strategy.Bitmap_inline_registers;
+                Strategy.Cache;
+                Strategy.Cache_inline;
+                Strategy.Hash_table;
+                Strategy.Trap_check;
+              ] );
+          (1, map (fun n -> Strategy.Hardware_watch n) (int_range 1 1024));
+        ])
+
+let prop_strategy_roundtrip =
+  QCheck.Test.make ~count:500
+    ~name:"Strategy.of_string inverts to_string over every constructor"
+    strategy_arb
+    (fun s -> Strategy.of_string (Strategy.to_string s) = s)
+
+let test_strategy_parsing_pinned () =
+  (* The CLI's lowercase aliases keep working... *)
+  List.iter
+    (fun (txt, expect) ->
+      check_bool ("alias " ^ txt) true (Strategy.of_string txt = expect))
+    [
+      ("none", Strategy.Nocheck);
+      ("bitmap", Strategy.Bitmap);
+      ("bitmap-inline", Strategy.Bitmap_inline);
+      ("bitmap-inline-registers", Strategy.Bitmap_inline_registers);
+      ("cache", Strategy.Cache);
+      ("cache-inline", Strategy.Cache_inline);
+      ("hash", Strategy.Hash_table);
+      ("trap", Strategy.Trap_check);
+      ("HardwareWatch1", Strategy.Hardware_watch 1);
+      ("HardwareWatch4", Strategy.Hardware_watch 4);
+      (* ...any positive all-digit count parses, leading zeros and all. *)
+      ("HardwareWatch7", Strategy.Hardware_watch 7);
+      ("HardwareWatch007", Strategy.Hardware_watch 7);
+      ("HardwareWatch1024", Strategy.Hardware_watch 1024);
+    ];
+  (* Garbage is rejected, never defaulted. *)
+  List.iter
+    (fun txt ->
+      match Strategy.of_string txt with
+      | _ -> Alcotest.failf "accepted garbage %S" txt
+      | exception Invalid_argument _ -> ())
+    [
+      "";
+      "bogus";
+      "BITMAP";
+      "Bitmap ";
+      " Bitmap";
+      "HardwareWatch";
+      "HardwareWatch0";
+      "HardwareWatch00";
+      "HardwareWatch-1";
+      "HardwareWatch+1";
+      "HardwareWatch4x";
+      "HardwareWatch 4";
+      "hardwarewatch4";
+      "HardwareWatch99999999999999999999999";
+    ]
+
 let suites =
   [
     ( "dbp.checkgen",
@@ -417,5 +493,10 @@ let suites =
         Alcotest.test_case "eval_bexpr" `Quick test_mrs_eval_bexpr;
         Alcotest.test_case "patch toggling" `Quick test_mrs_patch_toggling;
         Alcotest.test_case "pseudo homes" `Quick test_mrs_pseudo_home;
+      ] );
+    ( "dbp.strategy",
+      [
+        QCheck_alcotest.to_alcotest prop_strategy_roundtrip;
+        Alcotest.test_case "parsing pinned" `Quick test_strategy_parsing_pinned;
       ] );
   ]

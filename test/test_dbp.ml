@@ -73,6 +73,66 @@ let test_segbitmap_cross_segment () =
     (Segbitmap.segment_monitored bm 0x40_01FC
     && Segbitmap.segment_monitored bm 0x40_0200)
 
+(* Segment-boundary edges of the 128-word (512-byte) default segment:
+   the first and last word of a segment flip only their own bit, a
+   monitored doubleword straddling two segments marks one word in
+   each, and the "segment has monitored words" flag really is packed
+   into the low bit of the table entry (the pointer bits survive flag
+   churn). *)
+let test_segbitmap_segment_edges () =
+  let layout = Layout.v () in
+  let mem = Machine.Memory.create () in
+  let bm = Segbitmap.create layout mem in
+  let seg_bytes = 1 lsl layout.Layout.seg_bits in
+  check_int "default segment is 128 words" 128 (Layout.segment_words layout);
+  let seg_start = 0x40_0000 in
+  let last_word = seg_start + seg_bytes - 4 in
+  (* First word of the segment: neighbours stay clear. *)
+  let r_first = Region.v ~addr:seg_start ~size_bytes:4 () in
+  Segbitmap.add_region bm r_first;
+  check_bool "first word set" true (Segbitmap.monitored bm seg_start);
+  check_bool "second word clear" false (Segbitmap.monitored bm (seg_start + 4));
+  check_bool "previous segment's last word clear" false
+    (Segbitmap.monitored bm (seg_start - 4));
+  (* Last word of the segment: the next segment is untouched. *)
+  let r_last = Region.v ~addr:last_word ~size_bytes:4 () in
+  Segbitmap.add_region bm r_last;
+  check_bool "last word set" true (Segbitmap.monitored bm last_word);
+  check_bool "word 126 clear" false (Segbitmap.monitored bm (last_word - 4));
+  check_bool "next segment start clear" false
+    (Segbitmap.monitored bm (last_word + 4));
+  check_bool "next segment unflagged" false
+    (Segbitmap.segment_monitored bm (last_word + 4));
+  (* Doubleword straddling two segments: one word in each. *)
+  let straddle_lo = seg_start + (2 * seg_bytes) - 4 in
+  let r_dw = Region.v ~addr:straddle_lo ~size_bytes:8 () in
+  Segbitmap.add_region bm r_dw;
+  check_bool "straddle low half" true (Segbitmap.monitored bm straddle_lo);
+  check_bool "straddle high half" true (Segbitmap.monitored bm (straddle_lo + 4));
+  check_bool "straddle flags both segments" true
+    (Segbitmap.segment_monitored bm straddle_lo
+    && Segbitmap.segment_monitored bm (straddle_lo + 4));
+  (* The monitored flag is the low bit of the packed table entry;
+     clearing the last monitored word clears the flag but leaves the
+     segment pointer allocated (§3.1's no-initialization trick works
+     because a zero entry reads as unmonitored). *)
+  let entry () =
+    Sparc.Word.to_unsigned
+      (Machine.Memory.read_word mem (Layout.table_entry_addr layout seg_start))
+  in
+  let flagged = entry () in
+  check_bool "low bit set while monitored" true (flagged land 1 = 1);
+  check_bool "pointer bits present" true (flagged land lnot 1 <> 0);
+  Segbitmap.remove_region bm r_first;
+  check_bool "still flagged (last word remains)" true (entry () land 1 = 1);
+  Segbitmap.remove_region bm r_last;
+  let unflagged = entry () in
+  check_bool "low bit cleared when empty" true (unflagged land 1 = 0);
+  check_int "pointer bits preserved across flag churn"
+    (flagged land lnot 1) (unflagged land lnot 1);
+  check_bool "segment_monitored mirrors the bit" false
+    (Segbitmap.segment_monitored bm seg_start)
+
 let prop_segbitmap_matches_model =
   QCheck.Test.make ~name:"segmented bitmap agrees with a naive model" ~count:100
     QCheck.(
@@ -703,6 +763,8 @@ let suites =
         Alcotest.test_case "basic" `Quick test_segbitmap_basic;
         Alcotest.test_case "byte addresses" `Quick test_segbitmap_byte_addresses;
         Alcotest.test_case "cross segment" `Quick test_segbitmap_cross_segment;
+        Alcotest.test_case "segment edges + packed flag" `Quick
+          test_segbitmap_segment_edges;
         QCheck_alcotest.to_alcotest prop_segbitmap_matches_model;
       ] );
     ("dbp.write_type", [ Alcotest.test_case "classification" `Quick test_write_types ]);
