@@ -4,7 +4,7 @@
 
      dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
                                   breakeven|readwrite|ablations|smoke|
-                                  telemetry|replay|micro|all] [-j N]
+                                  telemetry|replay|profile|micro|all] [-j N]
                                  [--json FILE] [--chrome-trace FILE]
                                  [--span-set]
 
@@ -13,7 +13,7 @@
    tables printed on stdout are byte-identical for every [-j]; timing
    (wall seconds, aggregate simulated MIPS) goes to stderr, and
    [--json] writes a per-cell report including simulated-MIPS plus the
-   merged telemetry report (dbp-telemetry/3).
+   merged telemetry report (dbp-telemetry/4).
 
    Every instrumented cell's telemetry report is absorbed into its
    worker domain's sink ([Pool.telemetry_sink]); the merged summary
@@ -26,7 +26,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|profile|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
   exit 2
 
 let json_escape s =
@@ -123,6 +123,7 @@ let () =
   | "smoke" -> Tables.smoke ()
   | "telemetry" -> Tables.telemetry ()
   | "replay" -> Tables.replay ()
+  | "profile" -> Tables.profile ()
   | "micro" -> Micro.run ()
   | "all" ->
     Tables.table1 ();
@@ -135,6 +136,7 @@ let () =
     Tables.ablations ();
     Tables.telemetry ();
     Tables.replay ();
+    Tables.profile ();
     Micro.run ()
   | _ -> usage ());
   (* The merged telemetry summary is a sum over per-domain sinks —

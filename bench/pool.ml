@@ -49,6 +49,22 @@ let absorb_audit_summary s =
 let merged_audit_summary () =
   Audit.merge_summaries (Mutex.protect audit_mu (fun () -> !audit_summaries))
 
+(* --- folded-profile sink ----------------------------------------------------- *)
+
+(* Profiled cells absorb their folded call stacks here;
+   [merged_profile] is a multiset sum keyed by call path
+   ([Profile.merge_folded] — commutative and sorted), so the merged
+   flamegraph is byte-identical for every [-j]. *)
+
+let profiles_mu = Mutex.create ()
+let profiles : (string * int) list list ref = ref []
+
+let absorb_profile folded =
+  Mutex.protect profiles_mu (fun () -> profiles := folded :: !profiles)
+
+let merged_profile () =
+  Profile.merge_folded (Mutex.protect profiles_mu (fun () -> !profiles))
+
 (* --- per-domain phase-span tracers --------------------------------------------- *)
 
 (* One tracer per worker domain (same DLS pattern as the telemetry

@@ -122,26 +122,42 @@ let overhead (w : Workloads.Workload.t) run = Stats.pct (baseline w).cycles run.
    disabled one); either way the session's final report is absorbed
    into this domain's sink so the harness can print one merged,
    scheduling-independent telemetry summary at the end. *)
-let instrumented ?(enable = true) ?telemetry ?(tag = "") options
-    (w : Workloads.Workload.t) : run * Session.t =
-  let session =
-    Session.create ?telemetry ~trace:(Pool.trace_sink ()) ~options w.source
+let instrumented ?(enable = true) ?telemetry ?(tag = "") ?(profile = false)
+    ?(best_of = 1) options (w : Workloads.Workload.t) : run * Session.t =
+  let once () =
+    let session =
+      Session.create ?telemetry ~trace:(Pool.trace_sink ()) ~options ~profile
+        w.source
+    in
+    if enable then Mrs.enable session.Session.mrs;
+    let t0 = Unix.gettimeofday () in
+    let exit_code, _ = Session.run ~fuel session in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (match w.expected_exit with
+    | Some e when e <> exit_code ->
+      failwith
+        (Printf.sprintf "%s under %s: exit %d <> expected %d" w.name
+           (Strategy.to_string options.Instrument.strategy) exit_code e)
+    | _ -> ());
+    let s = Session.stats session in
+    let r =
+      { cycles = s.Machine.Cpu.cycles; instrs = s.Machine.Cpu.instrs;
+        stores = s.Machine.Cpu.stores; exit_code; wall_s }
+    in
+    (r, session)
   in
-  if enable then Mrs.enable session.Session.mrs;
-  let t0 = Unix.gettimeofday () in
-  let exit_code, _ = Session.run ~fuel session in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  (match w.expected_exit with
-  | Some e when e <> exit_code ->
-    failwith
-      (Printf.sprintf "%s under %s: exit %d <> expected %d" w.name
-         (Strategy.to_string options.Instrument.strategy) exit_code e)
-  | _ -> ());
-  let s = Session.stats session in
-  let r =
-    { cycles = s.Machine.Cpu.cycles; instrs = s.Machine.Cpu.instrs;
-      stores = s.Machine.Cpu.stores; exit_code; wall_s }
-  in
+  (* Repeats are identical simulations, so every run yields the same
+     simulated counts; only the host wall clock differs.  Keeping the
+     minimum-wall run is the standard robust estimator for cells whose
+     single-run time is within scheduler-noise range (the overhead
+     experiments on small workloads).  Only the kept run's telemetry,
+     audit and profile state is absorbed. *)
+  let best = ref (once ()) in
+  for _ = 2 to best_of do
+    let ((r, _) as cand) = once () in
+    if r.wall_s < (fst !best).wall_s then best := cand
+  done;
+  let r, session = !best in
   let label =
     Printf.sprintf "%s/%s%s%s" w.name
       (Strategy.to_string options.Instrument.strategy)

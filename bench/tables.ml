@@ -778,3 +778,108 @@ let telemetry () =
         (if enabled then "on" else "off")
         r.Runner.cycles checks probes)
     rows
+
+(* --- Hot-path profiler overhead (BENCH_profile.json) ----------------------------- *)
+
+(* Same workload and strategy, one run with the profiler attached and
+   one without.  Profiling adds no simulated cycles (the counters live
+   outside the machine's cost model), so the cycle column is identical
+   by construction between the two rows — what the profiler costs is
+   host time, which goes to [--json] (BENCH_profile.json) as per-cell
+   simulated MIPS; the acceptance bound is <= 10% MIPS drop for the
+   profiled rows.  Everything printed on stdout is simulated and
+   deterministic: block/edge/transfer counts, the hottest function and
+   back-edge, the full dbp-profile/1 JSON for the matrix300 kernel, and
+   the folded stacks merged across cells ([Profile.merge_folded], a
+   commutative multiset sum) — so the [profile-smoke] alias can diff
+   [-j 1] against [-j 4] byte-for-byte. *)
+let profile () =
+  let names = [ "030.matrix300"; "022.li" ] in
+  let ws =
+    List.filter_map
+      (fun n ->
+        match Workloads.Spec.find n with
+        | Some w -> Some w
+        | None -> failwith ("profile: unknown workload " ^ n))
+      names
+  in
+  let cells = List.concat_map (fun w -> [ (w, true); (w, false) ]) ws in
+  let rows =
+    Pool.map
+      (fun ((w : Workloads.Workload.t), on) ->
+        let tag = if on then "profile-on" else "profile-off" in
+        let r, session =
+          Runner.instrumented ~tag ~profile:on ~best_of:20
+            (Runner.options_for w Strategy.Bitmap_inline_registers)
+            w
+        in
+        let rep =
+          if on then begin
+            let rep = Session.profile_report session in
+            Pool.absorb_profile rep.Profile.p_folded;
+            Some rep
+          end
+          else None
+        in
+        (w, on, r, rep))
+      cells
+  in
+  Printf.printf "\n== Hot-path profiler (attached vs detached) ==\n";
+  Printf.printf "%-18s%10s%14s%14s%9s%8s%11s\n" "Programs" "Profiler" "Cycles"
+    "Instrs" "Blocks" "Edges" "Transfers";
+  List.iter
+    (fun ((w : Workloads.Workload.t), on, (r : Runner.run), rep) ->
+      match rep with
+      | Some (p : Profile.report) ->
+        Printf.printf "%-18s%10s%14d%14d%9d%8d%11d\n" (lang_tag w)
+          (if on then "on" else "off")
+          r.Runner.cycles r.Runner.instrs
+          (List.length p.Profile.p_blocks)
+          (List.length p.Profile.p_edges)
+          (List.fold_left
+             (fun acc (f : Profile.fn_report) -> acc + f.Profile.fr_calls)
+             0 p.Profile.p_functions)
+      | None ->
+        Printf.printf "%-18s%10s%14d%14d%9s%8s%11s\n" (lang_tag w)
+          (if on then "on" else "off")
+          r.Runner.cycles r.Runner.instrs "-" "-" "-")
+    rows;
+  Printf.printf "\n== Hottest paths ==\n";
+  List.iter
+    (fun ((w : Workloads.Workload.t), _, _, rep) ->
+      match rep with
+      | None -> ()
+      | Some (p : Profile.report) ->
+        (match p.Profile.p_functions with
+        | f :: _ ->
+          Printf.printf "%-18s hottest function %s (%d instrs exclusive)\n"
+            (lang_tag w) f.Profile.fr_name f.Profile.fr_excl_instrs
+        | [] -> ());
+        (match p.Profile.p_backedges with
+        | be :: _ ->
+          Printf.printf
+            "%-18s hottest back-edge 0x%x -> 0x%x (%d taken, %d blocks, %d \
+             check execs in body)\n"
+            (lang_tag w) be.Profile.be_from_pc be.Profile.be_to_pc
+            be.Profile.be_count
+            (List.length be.Profile.be_blocks)
+            be.Profile.be_check_execs
+        | [] -> ()))
+    rows;
+  (* The kernel workload's full report, under the [-j] byte-parity
+     diff: block/edge/function tables and the superblock-candidate
+     back-edges are all simulated quantities. *)
+  (match
+     List.find_map
+       (fun ((w : Workloads.Workload.t), _, _, rep) ->
+         if w.name = "030.matrix300" then rep else None)
+       rows
+   with
+  | Some p ->
+    Printf.printf "\n== dbp-profile/1 (030.matrix300) ==\n%s\n"
+      (Profile.to_json_string ~indent:1 p)
+  | None -> ());
+  Printf.printf "\n== Folded stacks (merged across profiled cells) ==\n";
+  List.iter
+    (fun (path, count) -> Printf.printf "%s %d\n" path count)
+    (Pool.merged_profile ())

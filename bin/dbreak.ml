@@ -9,7 +9,8 @@
      dbreak program.mc --watch cfg.max_depth --opt full --strategy Cache
      dbreak program.mc --dump-asm
      dbreak program.mc --stats
-     dbreak program.mc --watch counter --metrics metrics.prom --trace 16 *)
+     dbreak program.mc --watch counter --metrics metrics.prom --trace 16
+     dbreak program.mc --profile prof.json --flamegraph prof.folded *)
 
 open Cmdliner
 open Dbp
@@ -56,7 +57,7 @@ let fail msg =
 
 let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_asm
     stats metrics trace fuel audit_file explain chrome_trace checkpoint_every
-    last_write travel =
+    last_write travel profile_file flamegraph_file =
   try
     let source = read_file source_file in
     let options =
@@ -85,9 +86,10 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
         | None ->
           if last_write <> None || travel <> None then Some 10_000 else None
       in
+      let profile = profile_file <> None || flamegraph_file <> None in
       let session =
         Session.create ~options ~telemetry ~audit ~trace:tracer
-          ?checkpoint_every source
+          ?checkpoint_every ~profile ~profile_clock:Unix.gettimeofday source
       in
       Session.install_oracle session;
       let dbg = Debugger.create session in
@@ -111,6 +113,29 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
       let code, output = Session.run ~fuel session in
       if output <> "" then Printf.printf "--- program output ---\n%s\n" output;
       Printf.printf "--- exited with %d ---\n" code;
+      (* Snapshot the profile now: the retroactive queries below roll
+         the machine's counters back and would skew the totals. *)
+      let profile_rep =
+        if profile then Some (Session.profile_report session) else None
+      in
+      (match profile_rep with
+      | None -> ()
+      | Some rep ->
+        Printf.printf "--- profile ---\n";
+        (match rep.Profile.p_functions with
+        | f :: _ ->
+          Printf.printf "hottest function:  %s (%d instrs exclusive, %d calls)\n"
+            f.Profile.fr_name f.Profile.fr_excl_instrs f.Profile.fr_calls
+        | [] -> ());
+        match rep.Profile.p_backedges with
+        | be :: _ ->
+          Printf.printf "hottest back-edge: 0x%x -> 0x%x%s (%d taken)\n"
+            be.Profile.be_from_pc be.Profile.be_to_pc
+            (match Debugger.function_of_pc session be.Profile.be_from_pc with
+            | Some f -> " in " ^ f
+            | None -> "")
+            be.Profile.be_count
+        | [] -> ());
       if stats then begin
         let s = Session.stats session in
         let c = Mrs.counters session.Session.mrs in
@@ -203,8 +228,21 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
         write_file path (Audit.to_json_string ~indent:1 (Audit.report audit))
       | None -> ());
       (match chrome_trace with
-      | Some path -> write_file path (Trace.to_chrome_string [ tracer ])
+      | Some path ->
+        let counters =
+          match session.Session.profiler with
+          | Some p -> Profile.chrome_counters p
+          | None -> []
+        in
+        write_file path (Trace.to_chrome_string ~counters [ tracer ])
       | None -> ());
+      (match (profile_file, profile_rep) with
+      | Some path, Some rep ->
+        write_file path (Profile.to_json_string ~indent:1 rep)
+      | _ -> ());
+      (match (flamegraph_file, profile_rep) with
+      | Some path, Some rep -> write_file path (Profile.folded_to_string rep)
+      | _ -> ());
       match !replay_failed with
       | Some code -> code
       | None -> (
@@ -335,6 +373,19 @@ let travel_arg =
              (restore the latest checkpoint at or before it, re-execute \
              the gap under the determinism guard).")
 
+let profile_arg =
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+       ~doc:"Enable the hot-path profiler and write its dbp-profile/1 \
+             JSON report (basic blocks, edges, functions, hottest \
+             back-edges with loop bodies, per-block check density) to \
+             $(docv) after the run.")
+
+let flamegraph_arg =
+  Arg.(value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE"
+       ~doc:"Enable the hot-path profiler and write folded call stacks \
+             ('main;f;g <instrs>' lines, loadable by flamegraph.pl and \
+             speedscope) to $(docv) after the run.")
+
 let cmd =
   let doc = "practical data breakpoints for mini-C programs" in
   let man =
@@ -355,7 +406,7 @@ let cmd =
       $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ metrics_arg
       $ trace_arg $ fuel_arg $ audit_file_arg $ explain_arg
       $ chrome_trace_arg $ checkpoint_every_arg $ last_write_arg
-      $ travel_arg)
+      $ travel_arg $ profile_arg $ flamegraph_arg)
 
 (* Conventional exit codes: 0 success (including --help/--version), 1 a
    runtime failure reported by the tool itself ({!fail}), 2 a

@@ -23,6 +23,7 @@ type t = {
   site_slot : (int, int) Hashtbl.t;  (* origin -> telemetry array slot *)
   mutable expected_hits : (int * int) list;  (* oracle: addr, access pc *)
   functions : string list;
+  profiler : Profile.t option;  (* present iff [~profile:true] *)
 }
 
 let site_kind_of_status = function
@@ -31,7 +32,8 @@ let site_kind_of_status = function
   | Instrument.Loop_eliminated _ -> Telemetry.site_kind_loop
 
 let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false)
-    ?telemetry ?audit ?trace ?checkpoint_every ?checkpoint_budget source =
+    ?telemetry ?audit ?trace ?checkpoint_every ?checkpoint_budget
+    ?(profile = false) ?profile_clock source =
   let telemetry =
     match telemetry with Some tel -> tel | None -> Telemetry.create ()
   in
@@ -162,6 +164,59 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
         (Replay.create ~telemetry ~audit ?budget_bytes:checkpoint_budget
            ~checkpoint_every:interval cpu)
   in
+  (* Hot-path profiler: block discovery over the instrumented text's
+     static classification, counter arrays handed to the interpreter
+     (one increment per step when on, one boolean test when off), and
+     call/return transfers feeding the shadow stack.  The function
+     table is the compiler's function list plus every named call target
+     in the image (runtime and check-stub routines), so monitoring
+     overhead shows up attributed in the flamegraph. *)
+  let profiler =
+    if not profile then None
+    else begin
+      let seen = Hashtbl.create 32 in
+      let add acc addr name =
+        if addr >= 0 && not (Hashtbl.mem seen addr) then begin
+          Hashtbl.add seen addr ();
+          (addr, name) :: acc
+        end
+        else acc
+      in
+      let acc =
+        List.fold_left
+          (fun acc f ->
+            match Assembler.addr_of_label image f with
+            | Some a -> add acc a f
+            | None -> acc)
+          [] ("_start" :: plan.Instrument.functions)
+      in
+      let acc =
+        Array.fold_left
+          (fun acc insn ->
+            match insn with
+            | Insn.Call { target = Insn.Abs a } ->
+              let name =
+                match Assembler.label_of_addr image a with
+                | Some l -> l
+                | None -> Printf.sprintf "0x%x" a
+              in
+              add acc a name
+            | _ -> acc)
+          acc image.Assembler.text
+      in
+      let p =
+        Profile.create ?clock:profile_clock
+          ~text_base:image.Assembler.text_base ~info:(Cpu.profile_static cpu)
+          ~functions:acc ~entry:image.Assembler.entry ()
+      in
+      Cpu.profile_install cpu ~exec:(Profile.exec_array p)
+        ~taken:(Profile.taken_array p)
+        ~transfer:(fun kind _slot ->
+          Profile.transfer p ~kind ~pc:(Cpu.pc cpu)
+            ~instrs:(Cpu.instr_count cpu) ~cycles:(Cpu.cycle_count cpu));
+      Some p
+    end
+  in
   {
     plan;
     image;
@@ -176,6 +231,7 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
     site_slot;
     expected_hits = [];
     functions = plan.Instrument.functions;
+    profiler;
   }
 
 let site_executions t origin =
@@ -293,16 +349,29 @@ type write_record = {
 let enrich t (h : Replay.hit) =
   { wr_hit = h; wr_write_type = Hashtbl.find_opt t.store_pc_type h.Replay.h_pc }
 
+(* Replay queries roll the machine back and re-execute recorded
+   instructions; pausing the profiler around them keeps the replayed
+   steps from being double-counted into the block/edge arrays. *)
+let without_profiler t f =
+  if t.profiler <> None && Cpu.profile_enabled t.cpu then begin
+    Cpu.profile_set_enabled t.cpu false;
+    Fun.protect ~finally:(fun () -> Cpu.profile_set_enabled t.cpu true) f
+  end
+  else f ()
+
 let last_write ?guard t ~addr =
   let r = require_replay t "Session.last_write" in
-  Option.map (enrich t) (Replay.last_write_word ?guard r ~addr)
+  without_profiler t (fun () ->
+      Option.map (enrich t) (Replay.last_write_word ?guard r ~addr))
 
 let write_history ?guard t ~lo ~hi =
   let r = require_replay t "Session.write_history" in
-  List.map (enrich t) (Replay.write_history ?guard r ~lo ~hi)
+  without_profiler t (fun () ->
+      List.map (enrich t) (Replay.write_history ?guard r ~lo ~hi))
 
 let time_travel ?guard t ~insn =
-  Replay.travel ?guard (require_replay t "Session.time_travel") ~insn
+  let r = require_replay t "Session.time_travel" in
+  without_profiler t (fun () -> Replay.travel ?guard r ~insn)
 
 (* Resolve a CLI watch target to an address: a 0x-hex or decimal
    numeral, or a global variable name from the symbol table. *)
@@ -342,4 +411,30 @@ let report t =
   Telemetry.set t.telemetry Telemetry.Load_hook_dispatches
     (Cpu.load_hook_dispatches t.cpu);
   Telemetry.set t.telemetry Telemetry.Trap_dispatches (Cpu.trap_count t.cpu);
+  (match t.profiler with
+  | Some p ->
+    (* The exec-array sum, not [instr_count]: replay queries run with
+       the profiler paused, so the two legitimately differ. *)
+    Telemetry.set t.telemetry Telemetry.Profiled_instrs
+      (Profile.profiled_instrs p);
+    Telemetry.set t.telemetry Telemetry.Prof_transfers (Profile.transfers p)
+  | None -> ());
   Telemetry.report t.telemetry
+
+let profile_report t =
+  match t.profiler with
+  | None ->
+    invalid_arg "Session.profile_report: session was created without ~profile"
+  | Some p ->
+    let site_checks =
+      List.filter_map
+        (fun (s : Instrument.site) ->
+          match
+            Assembler.addr_of_label t.image (Instrument.site_label s.origin)
+          with
+          | Some addr -> Some (addr, Telemetry.site_exec t.telemetry s.slot)
+          | None -> None)
+        t.plan.Instrument.sites
+    in
+    Profile.report p ~site_checks ~instrs:(Cpu.instr_count t.cpu)
+      ~cycles:(Cpu.cycle_count t.cpu) ()

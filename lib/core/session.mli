@@ -19,6 +19,8 @@ type t = {
       (** write-site origin → telemetry array slot *)
   mutable expected_hits : (int * int) list;
   functions : string list;
+  profiler : Profile.t option;
+      (** hot-path profiler, present iff [profile] was given *)
 }
 
 val create :
@@ -30,6 +32,8 @@ val create :
   ?trace:Trace.t ->
   ?checkpoint_every:int ->
   ?checkpoint_budget:int ->
+  ?profile:bool ->
+  ?profile_clock:(unit -> float) ->
   string ->
   t
 (** Build a session from mini-C source.  [protect_mrs] arms the MRS's
@@ -56,6 +60,15 @@ val create :
     the registry's enabled flag like everything else.
     [checkpoint_budget] bounds the journal's retained bytes
     (exponential-thinning eviction).
+
+    [profile] (default false) attaches the hot-path profiler: basic
+    blocks are discovered from the instrumented text, the interpreter
+    bumps the per-instruction exec/taken arrays inline, and call/return
+    transfers maintain the shadow call stack — read the result with
+    {!profile_report} (or the [profiler] field for folded/Perfetto
+    exports).  Replay queries pause it, so replayed instructions are
+    never double-counted.  [profile_clock] timestamps its Perfetto
+    counter samples (pass [Unix.gettimeofday]; default: a constant).
     @raise Failure if the instrumented program fails to assemble.
     @raise Minic.Compile.Error on compilation errors. *)
 
@@ -117,5 +130,13 @@ val stats : t -> Machine.Cpu.stats
 
 val report : t -> Telemetry.report
 (** Freeze the session's registry into a report, first folding in the
-    snapshot gauges (segment-arena occupancy) and the interpreter's
-    probe/hook/trap dispatch counts. *)
+    snapshot gauges (segment-arena occupancy), the interpreter's
+    probe/hook/trap dispatch counts and — when profiling — the
+    profiler's instruction/transfer totals. *)
+
+val profile_report : t -> Profile.report
+(** Freeze the profiler at the machine's current instruction/cycle
+    totals, joining per-block MRS check density from the telemetry
+    per-site exec arrays.  Take it right after {!run}: replay queries
+    roll the machine's counters back and would skew the totals.
+    @raise Invalid_argument on a session created without [profile]. *)

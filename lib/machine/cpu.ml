@@ -85,6 +85,21 @@ type t = {
      happens between them share a single text copy (see [text_copy]). *)
   mutable text_version : int;
   mutable text_snap : (int * Insn.t array) option;
+  (* Hot-path profiler hooks.  The arrays belong to a {!Telemetry}-side
+     [Profile.t]; the interpreter only bumps them.  Each [prof_exec]
+     slot packs the control classification ([Profile.kind_*]) into its
+     low two bits and the execution count above them (increment step 4),
+     so one read-modify-write per step yields both the count and the
+     branch-vs-transfer decision — no separate kind load;
+     [profile_install] seeds the bits and [patch]/[rollback] keep them
+     in sync with text.  Like the dispatch counters, none of this
+     touches {!stats} — the differential fuzz harness's fast/generic
+     parity is preserved, and a profiler-off run pays exactly one
+     boolean test per step. *)
+  mutable prof_on : bool;
+  mutable prof_exec : int array;
+  mutable prof_taken : int array;
+  mutable prof_transfer : int -> int -> unit;  (* kind, executed slot *)
 }
 
 let faultf t fmt =
@@ -152,6 +167,75 @@ let sbrk t bytes =
 let fetch_at t addr = t.text.(text_index t addr)
 
 let add_cycles t n = t.cycles <- t.cycles + n
+
+(* ---------- profiling hooks ---------- *)
+
+(* Classify one instruction for the profiler: (kind, static target
+   slot or -1).  A linking [jmpl] (rd <> %g0) is an indirect call; a
+   non-linking one is a return — [Asm.ret]/[Asm.retl] both write %g0. *)
+let prof_classify t _i insn =
+  let slot_of = function
+    | Insn.Abs a ->
+      let off = a - t.text_base in
+      if off >= 0 && off land 3 = 0 && off lsr 2 < Array.length t.text then
+        off lsr 2
+      else -1
+    | Insn.Sym _ -> -1
+  in
+  match insn with
+  | Insn.Branch { target; _ } -> (Profile.kind_branch, slot_of target)
+  | Insn.Call { target } -> (Profile.kind_call, slot_of target)
+  | Insn.Jmpl { rd = Reg.G 0; _ } -> (Profile.kind_ret, -1)
+  | Insn.Jmpl _ -> (Profile.kind_call, -1)
+  | _ -> (Profile.kind_plain, -1)
+
+let profile_static t = Array.mapi (prof_classify t) t.text
+
+let profile_install t ~exec ~taken ~transfer =
+  let n = Array.length t.text in
+  if Array.length exec < n || Array.length taken < n then
+    invalid_arg "Cpu.profile_install: counter arrays shorter than text";
+  t.prof_exec <- exec;
+  t.prof_taken <- taken;
+  (* Seed the kind bits (counts sit above them, see the field doc). *)
+  Array.iteri
+    (fun i insn ->
+      exec.(i) <- (exec.(i) land lnot 3) lor fst (prof_classify t i insn))
+    t.text;
+  t.prof_transfer <- transfer;
+  t.prof_on <- true
+
+let profile_enabled t = t.prof_on
+
+let profile_set_enabled t on =
+  if on && Array.length t.prof_exec = 0 then
+    invalid_arg "Cpu.profile_set_enabled: no profiler installed";
+  t.prof_on <- on
+
+let prof_repatch t i insn =
+  let c = t.prof_exec in
+  if Array.length c > i then
+    c.(i) <- (c.(i) land lnot 3) lor fst (prof_classify t i insn)
+
+(* Post-step accounting for the executed slot [idx]: bump its exec
+   counter (packed: count above the two kind bits, so the same word
+   also decides what else to do); for a branch, compare the new pc
+   against the fall-through to detect taken-ness; calls and returns go
+   through the (rare) transfer closure, which reads the destination
+   from [t.pc]. *)
+let[@inline] prof_step t idx =
+  let c = t.prof_exec in
+  let v = Array.unsafe_get c idx + 4 in
+  Array.unsafe_set c idx v;
+  let k = v land 3 in
+  if k <> 0 then
+    if k = 1 then begin
+      if t.pc <> t.text_base + ((idx + 1) lsl 2) then begin
+        let tk = t.prof_taken in
+        Array.unsafe_set tk idx (Array.unsafe_get tk idx + 1)
+      end
+    end
+    else t.prof_transfer k idx
 
 (* Cache probe, inlined from {!Cache.access}: runs once per fetch and
    once per data access.  Counters live in the shared [Cache.t] so
@@ -667,6 +751,10 @@ let create ?(config = default_config) (image : Assembler.image) =
       code = Array.mapi (compile image.text_base) text;
       text_version = 0;
       text_snap = None;
+      prof_on = false;
+      prof_exec = [||];
+      prof_taken = [||];
+      prof_transfer = (fun _ _ -> ());
     }
   in
   Windows.set t.win Reg.sp 0x7FFF_FF00;
@@ -676,6 +764,7 @@ let patch t addr insn =
   let i = text_index t addr in
   t.text.(i) <- insn;
   t.code.(i) <- compile t.text_base i insn;
+  prof_repatch t i insn;
   t.text_version <- t.text_version + 1
 
 let step t =
@@ -690,7 +779,8 @@ let step t =
     if not (cache_access t t.pc) then add_cycles t t.config.miss_penalty;
     t.ninstrs <- t.ninstrs + 1;
     add_cycles t 1;
-    (Array.unsafe_get t.code idx) t
+    (Array.unsafe_get t.code idx) t;
+    if t.prof_on then prof_step t idx
   end
   else begin
     t.nprobe_dispatches <- t.nprobe_dispatches + Array.length ps;
@@ -698,11 +788,13 @@ let step t =
     (* A probe may patch text or move the pc (breakpoint callbacks);
        re-fetch through the checked path and fall back to the generic
        interpreter. *)
-    let insn = fetch_at t t.pc in
+    let eidx = text_index t t.pc in
+    let insn = Array.unsafe_get t.text eidx in
     if not (cache_access t t.pc) then add_cycles t t.config.miss_penalty;
     t.ninstrs <- t.ninstrs + 1;
     add_cycles t 1;
-    execute t insn (t.pc + 4)
+    execute t insn (t.pc + 4);
+    if t.prof_on then prof_step t eidx
   end
 
 let halt t code = t.halted <- Some code
@@ -808,7 +900,8 @@ let rollback t cp =
          run actually patched. *)
       if insn != t.text.(i) then begin
         t.text.(i) <- insn;
-        t.code.(i) <- compile t.text_base i insn
+        t.code.(i) <- compile t.text_base i insn;
+        prof_repatch t i insn
       end
     done;
     (* Text now equals [cp_text]; give it a fresh monotonic version so a
@@ -921,6 +1014,7 @@ type stats = {
 }
 
 let instr_count t = t.ninstrs
+let cycle_count (t : t) = t.cycles
 let probe_dispatches t = t.nprobe_dispatches
 let store_hook_dispatches t = t.nstore_hook_dispatches
 let load_hook_dispatches t = t.nload_hook_dispatches

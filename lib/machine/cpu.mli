@@ -166,6 +166,9 @@ val instr_count : t -> int
 (** Instructions executed so far ([(stats t).instrs] without building
     the record — cheap enough for per-hit trace events). *)
 
+val cycle_count : t -> int
+(** Simulated cycles so far ([(stats t).cycles] without the record). *)
+
 val probe_dispatches : t -> int
 (** Total probe invocations (slow-path steps count each probe fired). *)
 
@@ -176,3 +179,37 @@ val load_hook_dispatches : t -> int
 
 val trap_count : t -> int
 (** Executed [ta] instructions ([(stats t).traps]). *)
+
+(** {2 Hot-path profiler hooks}
+
+    The interpreter side of {!Profile}: the profiler owns the counter
+    arrays; the step path bumps the executed slot's exec counter, a
+    taken counter per executed branch that left the fall-through, and
+    fires a closure on calls and returns.  Gated exactly like the
+    dispatch counters: none of it is part of {!stats} (fast/generic
+    differential parity is preserved), and with no profiler installed —
+    or the profiler disabled — every step pays one boolean test. *)
+
+val profile_static : t -> (int * int) array
+(** Per-slot [(kind, static target slot or -1)] classification of the
+    current text ([Profile.kind_*] values) — the input to
+    {!Profile.create}'s block discovery.  Reflects patches applied so
+    far; take it after instrumentation for patched-text profiles. *)
+
+val profile_install :
+  t -> exec:int array -> taken:int array -> transfer:(int -> int -> unit) ->
+  unit
+(** Attach counter arrays (each at least text-length, normally
+    {!Profile.exec_array}/{!Profile.taken_array}) and the call/return
+    callback [transfer kind slot], fired after the transfer executed —
+    read the destination from {!pc} and totals from
+    {!instr_count}/{!cycle_count}.  Enables profiling.
+    @raise Invalid_argument if an array is shorter than text. *)
+
+val profile_enabled : t -> bool
+
+val profile_set_enabled : t -> bool -> unit
+(** Pause/resume a previously installed profiler — the replay layer
+    pauses it around rollback/re-execution so replayed instructions are
+    not double-counted.  @raise Invalid_argument when enabling with no
+    profiler installed. *)

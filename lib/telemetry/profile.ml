@@ -1,0 +1,596 @@
+(* Hot-path profiler: basic-block discovery over a machine-neutral
+   instruction classification, direct-indexed exec/taken counter arrays
+   bumped by the interpreter, and a shadow call stack fed by transfer
+   events.  See profile.mli for the cost contract. *)
+
+let kind_plain = 0
+let kind_branch = 1
+let kind_call = 2
+let kind_ret = 3
+
+let schema_version = "dbp-profile/1"
+
+(* Call-tree node: one per distinct call path, keyed by function id.
+   Self counts accumulate here so the folded export reads paths off the
+   tree instead of materializing strings per transfer. *)
+type node = {
+  n_fn : int;
+  n_parent : node option;
+  n_children : (int, node) Hashtbl.t;
+  mutable n_self : int;
+  (* Last child fetched; loops calling the same callee repeatedly hit
+     this instead of the hashtable. *)
+  mutable n_cache : node option;
+}
+
+type t = {
+  text_base : int;
+  info : (int * int) array;        (* (kind, static target idx or -1) *)
+  exec : int array;
+  taken : int array;
+  block_of : int array;            (* insn idx -> block id *)
+  block_lo : int array;            (* block id -> leader idx *)
+  block_hi : int array;            (* block id -> last idx (inclusive) *)
+  (* Function table; grows when an unknown call target is entered. *)
+  mutable fn_name : string array;
+  mutable nfns : int;
+  fn_by_addr : (int, int) Hashtbl.t;
+  static_fns : (int * int) array;  (* (entry addr, id), sorted, static *)
+  mutable fn_calls : int array;
+  mutable fn_excl_i : int array;
+  mutable fn_excl_c : int array;
+  mutable fn_incl_i : int array;
+  mutable fn_incl_c : int array;
+  mutable fn_depth : int array;    (* live recursion depth per fn *)
+  (* Shadow stack (parallel arrays, frame 0 = entry function). *)
+  mutable st_fn : int array;
+  mutable st_entry_i : int array;
+  mutable st_entry_c : int array;
+  mutable st_node : node array;
+  mutable depth : int;
+  root : node;
+  mutable cur : node;
+  mutable last_i : int;            (* machine totals at last flush *)
+  mutable last_c : int;
+  mutable ntransfers : int;
+  (* Call-target memo: the same site (a loop around one call) resolves
+     its function id without touching [fn_by_addr]. *)
+  mutable last_call_pc : int;
+  mutable last_call_fn : int;
+  (* Perfetto counter sampling. *)
+  clock : unit -> float;
+  sample_every : int;
+  mutable next_sample : int;
+  mutable samples : (float * int * int * int) list;  (* newest first *)
+}
+
+let exec_array t = t.exec
+
+(* [exec] slots are packed: count in the bits above the interpreter's
+   two kind bits (see [exec_array]'s doc), so counts decode as [lsr 2]. *)
+let exec_count t i = t.exec.(i) lsr 2
+let profiled_instrs t = Array.fold_left (fun acc v -> acc + (v lsr 2)) 0 t.exec
+let taken_array t = t.taken
+let transfers t = t.ntransfers
+
+(* ---------- construction ---------- *)
+
+let mk_node fn parent =
+  { n_fn = fn; n_parent = parent; n_children = Hashtbl.create 4; n_self = 0;
+    n_cache = None }
+
+let grow a len init =
+  if Array.length a >= len then a
+  else begin
+    let b = Array.make (max len (2 * Array.length a + 8)) init in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let register_fn t addr name =
+  match Hashtbl.find_opt t.fn_by_addr addr with
+  | Some id -> id
+  | None ->
+    let id = t.nfns in
+    t.fn_name <- grow t.fn_name (id + 1) "";
+    t.fn_calls <- grow t.fn_calls (id + 1) 0;
+    t.fn_excl_i <- grow t.fn_excl_i (id + 1) 0;
+    t.fn_excl_c <- grow t.fn_excl_c (id + 1) 0;
+    t.fn_incl_i <- grow t.fn_incl_i (id + 1) 0;
+    t.fn_incl_c <- grow t.fn_incl_c (id + 1) 0;
+    t.fn_depth <- grow t.fn_depth (id + 1) 0;
+    t.fn_name.(id) <- name;
+    t.nfns <- id + 1;
+    Hashtbl.add t.fn_by_addr addr id;
+    id
+
+(* Greatest static function entry <= pc; the entry function when pc
+   precedes every known function. *)
+let fn_of_pc t pc =
+  let a = t.static_fns in
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) and best = ref (snd a.(0)) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let addr, id = a.(mid) in
+      if addr <= pc then begin best := id; lo := mid + 1 end
+      else hi := mid - 1
+    done;
+    !best
+  end
+
+let create ?(clock = fun () -> 0.) ?(sample_every = 65536) ~text_base ~info
+    ~functions ~entry () =
+  let n = Array.length info in
+  let leader = Array.make (max n 1) false in
+  let mark i = if i >= 0 && i < n then leader.(i) <- true in
+  if n > 0 then leader.(0) <- true;
+  mark ((entry - text_base) asr 2);
+  List.iter (fun (addr, _) -> mark ((addr - text_base) asr 2)) functions;
+  Array.iteri
+    (fun i (k, tgt) ->
+      if k = kind_branch then begin mark tgt; mark (i + 1) end
+      else if k = kind_call then begin
+        (* The word after a call is dead padding; the return point is
+           call + 8.  Both start fresh blocks so neither gets charged
+           to the caller's pre-call block. *)
+        mark tgt; mark (i + 1); mark (i + 2)
+      end
+      else if k = kind_ret then mark (i + 1))
+    info;
+  let block_of = Array.make (max n 1) 0 in
+  let nblocks = ref 0 in
+  for i = 0 to n - 1 do
+    if leader.(i) then incr nblocks;
+    block_of.(i) <- !nblocks - 1
+  done;
+  let nb = max !nblocks 1 in
+  let block_lo = Array.make nb 0 and block_hi = Array.make nb 0 in
+  for i = 0 to n - 1 do
+    let b = block_of.(i) in
+    if leader.(i) then block_lo.(b) <- i;
+    block_hi.(b) <- i
+  done;
+  let t =
+    {
+      text_base;
+      info;
+      exec = Array.make (max n 1) 0;
+      taken = Array.make (max n 1) 0;
+      block_of;
+      block_lo;
+      block_hi;
+      fn_name = [||];
+      nfns = 0;
+      fn_by_addr = Hashtbl.create 16;
+      static_fns = [||];
+      fn_calls = [||];
+      fn_excl_i = [||];
+      fn_excl_c = [||];
+      fn_incl_i = [||];
+      fn_incl_c = [||];
+      fn_depth = [||];
+      st_fn = Array.make 64 0;
+      st_entry_i = Array.make 64 0;
+      st_entry_c = Array.make 64 0;
+      st_node = Array.make 64 (mk_node 0 None);
+      depth = 0;
+      root = mk_node 0 None;
+      cur = mk_node 0 None;
+      last_i = 0;
+      last_c = 0;
+      ntransfers = 0;
+      last_call_pc = -1;
+      last_call_fn = 0;
+      clock;
+      sample_every = max 1 sample_every;
+      next_sample = max 1 sample_every;
+      samples = [];
+    }
+  in
+  (* Register static functions sorted by entry address so ids are
+     deterministic, then seed the stack with the entry function. *)
+  let fns = List.sort_uniq compare functions in
+  let statics =
+    List.map (fun (addr, name) -> (addr, register_fn t addr name)) fns
+  in
+  let t = { t with static_fns = Array.of_list statics } in
+  let entry_fn = fn_of_pc t entry in
+  let root = mk_node entry_fn None in
+  let t = { t with root; cur = root } in
+  t.st_fn.(0) <- entry_fn;
+  t.st_node.(0) <- root;
+  t.depth <- 1;
+  t.fn_calls.(entry_fn) <- 1;
+  t.fn_depth.(entry_fn) <- 1;
+  t
+
+(* ---------- shadow stack ---------- *)
+
+let flush t ~instrs ~cycles =
+  let di = instrs - t.last_i and dc = cycles - t.last_c in
+  if di <> 0 || dc <> 0 then begin
+    let fn = t.st_fn.(t.depth - 1) in
+    t.fn_excl_i.(fn) <- t.fn_excl_i.(fn) + di;
+    t.fn_excl_c.(fn) <- t.fn_excl_c.(fn) + dc;
+    t.cur.n_self <- t.cur.n_self + di;
+    t.last_i <- instrs;
+    t.last_c <- cycles
+  end
+
+let sample t ~instrs ~cycles =
+  if instrs >= t.next_sample then begin
+    t.samples <- (t.clock (), instrs, cycles, t.depth) :: t.samples;
+    t.next_sample <- instrs + t.sample_every
+  end
+
+let transfer t ~kind ~pc ~instrs ~cycles =
+  flush t ~instrs ~cycles;
+  t.ntransfers <- t.ntransfers + 1;
+  if kind = kind_call then begin
+    let fn =
+      if pc = t.last_call_pc then t.last_call_fn
+      else begin
+        let id =
+          match Hashtbl.find t.fn_by_addr pc with
+          | id -> id
+          | exception Not_found -> register_fn t pc (Printf.sprintf "0x%x" pc)
+        in
+        t.last_call_pc <- pc;
+        t.last_call_fn <- id;
+        id
+      end
+    in
+    let d = t.depth in
+    t.st_fn <- grow t.st_fn (d + 1) 0;
+    t.st_entry_i <- grow t.st_entry_i (d + 1) 0;
+    t.st_entry_c <- grow t.st_entry_c (d + 1) 0;
+    t.st_node <- grow t.st_node (d + 1) t.root;
+    t.st_fn.(d) <- fn;
+    t.st_entry_i.(d) <- instrs;
+    t.st_entry_c.(d) <- cycles;
+    let node =
+      match t.cur.n_cache with
+      | Some nd when nd.n_fn = fn -> nd
+      | _ ->
+        let nd =
+          match Hashtbl.find t.cur.n_children fn with
+          | nd -> nd
+          | exception Not_found ->
+            let nd = mk_node fn (Some t.cur) in
+            Hashtbl.add t.cur.n_children fn nd;
+            nd
+        in
+        t.cur.n_cache <- Some nd;
+        nd
+    in
+    t.st_node.(d) <- node;
+    t.cur <- node;
+    t.depth <- d + 1;
+    t.fn_calls.(fn) <- t.fn_calls.(fn) + 1;
+    t.fn_depth.(fn) <- t.fn_depth.(fn) + 1
+  end
+  else if kind = kind_ret && t.depth > 1 then begin
+    let d = t.depth - 1 in
+    let fn = t.st_fn.(d) in
+    t.depth <- d;
+    t.fn_depth.(fn) <- t.fn_depth.(fn) - 1;
+    if t.fn_depth.(fn) = 0 then begin
+      (* Outermost activation ends: charge the inclusive interval.
+         Recursive re-entries inside it are covered by this span. *)
+      t.fn_incl_i.(fn) <- t.fn_incl_i.(fn) + (instrs - t.st_entry_i.(d));
+      t.fn_incl_c.(fn) <- t.fn_incl_c.(fn) + (cycles - t.st_entry_c.(d))
+    end;
+    t.cur <-
+      (match t.st_node.(d).n_parent with Some p -> p | None -> t.root)
+  end;
+  sample t ~instrs ~cycles
+
+(* ---------- reporting ---------- *)
+
+type fn_report = {
+  fr_name : string;
+  fr_calls : int;
+  fr_excl_instrs : int;
+  fr_excl_cycles : int;
+  fr_incl_instrs : int;
+  fr_incl_cycles : int;
+}
+
+type block = {
+  bb_id : int;
+  bb_lo : int;
+  bb_hi : int;
+  bb_fn : string;
+  bb_execs : int;
+  bb_instrs : int;
+  bb_check_execs : int;
+  bb_check_sites : int;
+}
+
+type edge = {
+  ed_from : int;
+  ed_to : int;
+  ed_kind : string;
+  ed_count : int;
+}
+
+type backedge = {
+  be_from_pc : int;
+  be_to_pc : int;
+  be_count : int;
+  be_blocks : int list;
+  be_check_execs : int;
+}
+
+type report = {
+  p_schema : string;
+  p_total_instrs : int;
+  p_total_cycles : int;
+  p_functions : fn_report list;
+  p_blocks : block list;
+  p_edges : edge list;
+  p_backedges : backedge list;
+  p_folded : (string * int) list;
+}
+
+let addr_of t i = t.text_base + (i lsl 2)
+
+let folded_of_tree t =
+  let acc = ref [] in
+  let rec walk node path =
+    let path =
+      if path = "" then t.fn_name.(node.n_fn)
+      else path ^ ";" ^ t.fn_name.(node.n_fn)
+    in
+    if node.n_self > 0 then acc := (path, node.n_self) :: !acc;
+    let kids = Hashtbl.fold (fun _ nd l -> nd :: l) node.n_children [] in
+    let kids =
+      List.sort (fun a b -> compare t.fn_name.(a.n_fn) t.fn_name.(b.n_fn)) kids
+    in
+    List.iter (fun k -> walk k path) kids
+  in
+  walk t.root "";
+  List.sort compare !acc
+
+let report t ?(site_checks = []) ~instrs ~cycles () =
+  flush t ~instrs ~cycles;
+  let n = Array.length t.info in
+  let nb = Array.length t.block_lo in
+  (* Inclusive totals for still-live frames: first (outermost)
+     activation of each function on the stack, without unwinding. *)
+  let incl_i = Array.sub t.fn_incl_i 0 t.nfns in
+  let incl_c = Array.sub t.fn_incl_c 0 t.nfns in
+  let seen = Hashtbl.create 16 in
+  for d = 0 to t.depth - 1 do
+    let fn = t.st_fn.(d) in
+    if not (Hashtbl.mem seen fn) then begin
+      Hashtbl.add seen fn ();
+      incl_i.(fn) <- incl_i.(fn) + (instrs - t.st_entry_i.(d));
+      incl_c.(fn) <- incl_c.(fn) + (cycles - t.st_entry_c.(d))
+    end
+  done;
+  let functions =
+    List.init t.nfns (fun id ->
+        {
+          fr_name = t.fn_name.(id);
+          fr_calls = t.fn_calls.(id);
+          fr_excl_instrs = t.fn_excl_i.(id);
+          fr_excl_cycles = t.fn_excl_c.(id);
+          fr_incl_instrs = incl_i.(id);
+          fr_incl_cycles = incl_c.(id);
+        })
+    |> List.filter (fun f -> f.fr_calls > 0 || f.fr_excl_instrs > 0)
+    |> List.sort (fun a b ->
+           match compare b.fr_excl_instrs a.fr_excl_instrs with
+           | 0 -> compare a.fr_name b.fr_name
+           | c -> c)
+  in
+  (* Per-block MRS check density from the per-site exec join. *)
+  let check_e = Array.make nb 0 and check_s = Array.make nb 0 in
+  List.iter
+    (fun (pc, execs) ->
+      let i = (pc - t.text_base) asr 2 in
+      if i >= 0 && i < n then begin
+        let b = t.block_of.(i) in
+        check_e.(b) <- check_e.(b) + execs;
+        check_s.(b) <- check_s.(b) + 1
+      end)
+    site_checks;
+  let block_instrs = Array.make nb 0 in
+  for i = 0 to n - 1 do
+    let b = t.block_of.(i) in
+    block_instrs.(b) <- block_instrs.(b) + exec_count t i
+  done;
+  let blocks = ref [] in
+  for b = nb - 1 downto 0 do
+    if n > 0 && exec_count t t.block_lo.(b) > 0 then
+      blocks :=
+        {
+          bb_id = b;
+          bb_lo = addr_of t t.block_lo.(b);
+          bb_hi = addr_of t t.block_hi.(b);
+          bb_fn = t.fn_name.(fn_of_pc t (addr_of t t.block_lo.(b)));
+          bb_execs = exec_count t t.block_lo.(b);
+          bb_instrs = block_instrs.(b);
+          bb_check_execs = check_e.(b);
+          bb_check_sites = check_s.(b);
+        }
+        :: !blocks
+  done;
+  (* Edges read off each executed block's terminator. *)
+  let edges = ref [] in
+  let add_edge from_b to_i kind count =
+    if count > 0 && to_i >= 0 && to_i < n then
+      edges :=
+        { ed_from = from_b; ed_to = t.block_of.(to_i); ed_kind = kind;
+          ed_count = count }
+        :: !edges
+  in
+  for b = 0 to nb - 1 do
+    if n > 0 then begin
+      let i = t.block_hi.(b) in
+      let execs = exec_count t i in
+      if execs > 0 then begin
+        let k, tgt = t.info.(i) in
+        if k = kind_branch then begin
+          add_edge b tgt "taken" t.taken.(i);
+          add_edge b (i + 1) "fall" (execs - t.taken.(i))
+        end
+        else if k = kind_call then add_edge b tgt "call" execs
+        else if k <> kind_ret then add_edge b (i + 1) "fall" execs
+      end
+    end
+  done;
+  let edges =
+    List.sort
+      (fun a b ->
+        compare (a.ed_from, a.ed_to, a.ed_kind) (b.ed_from, b.ed_to, b.ed_kind))
+      !edges
+  in
+  (* Hottest back-edges: taken edges whose target precedes the branch;
+     the loop body is the address range [target, branch]. *)
+  let backedges = ref [] in
+  for i = 0 to n - 1 do
+    let k, tgt = t.info.(i) in
+    if k = kind_branch && tgt >= 0 && tgt <= i && t.taken.(i) > 0 then begin
+      let body = ref [] and ce = ref 0 in
+      for b = t.block_of.(i) downto t.block_of.(tgt) do
+        body := b :: !body;
+        ce := !ce + check_e.(b)
+      done;
+      backedges :=
+        {
+          be_from_pc = addr_of t i;
+          be_to_pc = addr_of t tgt;
+          be_count = t.taken.(i);
+          be_blocks = !body;
+          be_check_execs = !ce;
+        }
+        :: !backedges
+    end
+  done;
+  let backedges =
+    List.sort
+      (fun a b ->
+        match compare b.be_count a.be_count with
+        | 0 -> compare a.be_from_pc b.be_from_pc
+        | c -> c)
+      !backedges
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: tl -> x :: take (k - 1) tl
+  in
+  {
+    p_schema = schema_version;
+    p_total_instrs = instrs;
+    p_total_cycles = cycles;
+    p_functions = functions;
+    p_blocks = !blocks;
+    p_edges = edges;
+    p_backedges = take 10 backedges;
+    p_folded = folded_of_tree t;
+  }
+
+let folded_to_string r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (path, count) ->
+      if count > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" path count))
+    r.p_folded;
+  Buffer.contents buf
+
+let merge_folded profiles =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (path, count) ->
+         Hashtbl.replace tbl path
+           (count + Option.value ~default:0 (Hashtbl.find_opt tbl path))))
+    profiles;
+  Hashtbl.fold (fun path count acc -> (path, count) :: acc) tbl []
+  |> List.sort compare
+
+(* ---------- JSON ---------- *)
+
+let to_json r =
+  let open Export in
+  Obj
+    [
+      ("schema", Str r.p_schema);
+      ("total_instrs", Int r.p_total_instrs);
+      ("total_cycles", Int r.p_total_cycles);
+      ( "functions",
+        List
+          (List.map
+             (fun f ->
+               Obj
+                 [
+                   ("name", Str f.fr_name);
+                   ("calls", Int f.fr_calls);
+                   ("excl_instrs", Int f.fr_excl_instrs);
+                   ("excl_cycles", Int f.fr_excl_cycles);
+                   ("incl_instrs", Int f.fr_incl_instrs);
+                   ("incl_cycles", Int f.fr_incl_cycles);
+                 ])
+             r.p_functions) );
+      ( "blocks",
+        List
+          (List.map
+             (fun b ->
+               Obj
+                 [
+                   ("id", Int b.bb_id);
+                   ("lo", Int b.bb_lo);
+                   ("hi", Int b.bb_hi);
+                   ("fn", Str b.bb_fn);
+                   ("execs", Int b.bb_execs);
+                   ("instrs", Int b.bb_instrs);
+                   ("check_execs", Int b.bb_check_execs);
+                   ("check_sites", Int b.bb_check_sites);
+                 ])
+             r.p_blocks) );
+      ( "edges",
+        List
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("from", Int e.ed_from);
+                   ("to", Int e.ed_to);
+                   ("kind", Str e.ed_kind);
+                   ("count", Int e.ed_count);
+                 ])
+             r.p_edges) );
+      ( "hottest_backedges",
+        List
+          (List.map
+             (fun be ->
+               Obj
+                 [
+                   ("from_pc", Int be.be_from_pc);
+                   ("to_pc", Int be.be_to_pc);
+                   ("count", Int be.be_count);
+                   ("blocks", List (List.map (fun b -> Int b) be.be_blocks));
+                   ("check_execs", Int be.be_check_execs);
+                 ])
+             r.p_backedges) );
+      ( "folded",
+        Obj (List.map (fun (path, count) -> (path, Int count)) r.p_folded) );
+    ]
+
+let to_json_string ?indent r = Export.json_to_string ?indent (to_json r)
+
+let chrome_counters t =
+  let samples = List.rev t.samples in
+  List.concat_map
+    (fun (ts, instrs, cycles, depth) ->
+      [
+        ("sim_instrs", ts, instrs);
+        ("sim_cycles", ts, cycles);
+        ("call_depth", ts, depth);
+      ])
+    samples

@@ -40,6 +40,9 @@ type counter =
   | Checkpoint_evictions
   | Restores
   | Replayed_instrs
+  (* Hot-path profiler (v4). *)
+  | Profiled_instrs
+  | Prof_transfers
 
 let all_counters =
   [
@@ -52,6 +55,7 @@ let all_counters =
     Store_hook_dispatches; Load_hook_dispatches; Trap_dispatches;
     Checkpoints_taken; Checkpoint_pages_copied; Checkpoint_pages_shared;
     Checkpoint_bytes; Checkpoint_evictions; Restores; Replayed_instrs;
+    Profiled_instrs; Prof_transfers;
   ]
 
 let counter_name = function
@@ -89,6 +93,8 @@ let counter_name = function
   | Checkpoint_evictions -> "checkpoint_evictions"
   | Restores -> "restores"
   | Replayed_instrs -> "replayed_instrs"
+  | Profiled_instrs -> "profiled_instrs"
+  | Prof_transfers -> "prof_transfers"
 
 let counter_index =
   let tbl = Hashtbl.create 32 in
@@ -274,7 +280,7 @@ let events_dropped t = Ring.dropped t.ring
 
 (* --- reports ----------------------------------------------------------------- *)
 
-let schema_version = "dbp-telemetry/3"
+let schema_version = "dbp-telemetry/4"
 
 type site_report = {
   sr_site : int;

@@ -54,6 +54,8 @@ type counter =
   | Checkpoint_evictions    (** journal entries thinned under budget *)
   | Restores                (** checkpoint rollbacks performed *)
   | Replayed_instrs         (** instructions re-executed by travels/queries *)
+  | Profiled_instrs         (** instructions seen by the hot-path profiler (v4) *)
+  | Prof_transfers          (** profiler call/return transfer events *)
 
 val all_counters : counter list
 (** Canonical order used by every report and export format. *)

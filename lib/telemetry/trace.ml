@@ -86,10 +86,13 @@ let span_set traces =
 (* Chrome trace_event export: complete events ("ph":"X"), integer
    microseconds relative to the earliest span start.  Floor-rounding
    both endpoints through the same monotone map preserves nesting. *)
-let to_chrome_json ?(pid = 1) traces =
+let to_chrome_json ?(pid = 1) ?(counters = []) traces =
   let all = List.concat_map spans traces in
   let t0 =
     List.fold_left (fun acc s -> Float.min acc s.sp_start) infinity all
+  in
+  let t0 =
+    List.fold_left (fun acc (_, ts, _) -> Float.min acc ts) t0 counters
   in
   let us x = int_of_float (Float.floor ((x -. t0) *. 1e6)) in
   let event s =
@@ -127,7 +130,26 @@ let to_chrome_json ?(pid = 1) traces =
         | c -> c)
       all
   in
-  Export.List (List.map event ordered)
+  (* Counter samples ("ph":"C") ride on a reserved tid after the spans;
+     stable (name, ts) order keeps the export deterministic. *)
+  let counter_events =
+    List.stable_sort
+      (fun (na, ta, _) (nb, tb, _) ->
+        match String.compare na nb with 0 -> compare ta tb | c -> c)
+      counters
+    |> List.map (fun (name, ts, value) ->
+           Export.Obj
+             [
+               ("name", Export.Str name);
+               ("cat", Export.Str "profile");
+               ("ph", Export.Str "C");
+               ("ts", Export.Int (us ts));
+               ("pid", Export.Int pid);
+               ("tid", Export.Int 0);
+               ("args", Export.Obj [ ("value", Export.Int value) ]);
+             ])
+  in
+  Export.List (List.map event ordered @ counter_events)
 
-let to_chrome_string ?pid traces =
-  Export.json_to_string ~indent:1 (to_chrome_json ?pid traces)
+let to_chrome_string ?pid ?counters traces =
+  Export.json_to_string ~indent:1 (to_chrome_json ?pid ?counters traces)

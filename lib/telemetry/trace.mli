@@ -61,9 +61,17 @@ val span_set : t list -> (string * int) list
     tracers — the scheduling-independent shape used by the [-j1] vs
     [-j4] parity check. *)
 
-val to_chrome_json : ?pid:int -> t list -> Export.json
+val to_chrome_json :
+  ?pid:int -> ?counters:(string * float * int) list -> t list -> Export.json
 (** One Chrome trace: a JSON array of complete ([ph = "X"]) events,
     [ts]/[dur] in integer microseconds relative to the earliest span
-    across all tracers.  [pid] defaults to [1]. *)
+    across all tracers {e and} counter samples.  [pid] defaults to [1].
 
-val to_chrome_string : ?pid:int -> t list -> string
+    [counters] are [(track name, clock value, value)] samples —
+    e.g. {!Profile.chrome_counters} — rendered as Chrome counter
+    ([ph = "C"]) events on [tid 0] after the spans, sorted by
+    [(name, ts)]; they share the span rebasing so [ts >= 0] holds
+    across the whole trace. *)
+
+val to_chrome_string :
+  ?pid:int -> ?counters:(string * float * int) list -> t list -> string
