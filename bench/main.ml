@@ -4,8 +4,8 @@
 
      dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
                                   breakeven|readwrite|ablations|smoke|
-                                  telemetry|replay|profile|micro|all] [-j N]
-                                 [--json FILE] [--chrome-trace FILE]
+                                  telemetry|replay|profile|timeseries|micro|all]
+                                 [-j N] [--json FILE] [--chrome-trace FILE]
                                  [--span-set]
 
    Cells run on a pool of [-j] worker domains (default: [DBP_JOBS] or
@@ -13,7 +13,7 @@
    tables printed on stdout are byte-identical for every [-j]; timing
    (wall seconds, aggregate simulated MIPS) goes to stderr, and
    [--json] writes a per-cell report including simulated-MIPS plus the
-   merged telemetry report (dbp-telemetry/4).
+   merged telemetry report (dbp-telemetry/5).
 
    Every instrumented cell's telemetry report is absorbed into its
    worker domain's sink ([Pool.telemetry_sink]); the merged summary
@@ -26,7 +26,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|profile|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|profile|timeseries|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
   exit 2
 
 let json_escape s =
@@ -124,6 +124,7 @@ let () =
   | "telemetry" -> Tables.telemetry ()
   | "replay" -> Tables.replay ()
   | "profile" -> Tables.profile ()
+  | "timeseries" -> Tables.timeseries_sampler ()
   | "micro" -> Micro.run ()
   | "all" ->
     Tables.table1 ();
@@ -137,6 +138,7 @@ let () =
     Tables.telemetry ();
     Tables.replay ();
     Tables.profile ();
+    Tables.timeseries_sampler ();
     Micro.run ()
   | _ -> usage ());
   (* The merged telemetry summary is a sum over per-domain sinks —

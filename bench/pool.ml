@@ -25,6 +25,10 @@ let sinks : Telemetry.t list ref = ref []
 let sink_key =
   Domain.DLS.new_key (fun () ->
       let t = Telemetry.create () in
+      (* Absorbed sample rings land here too; sized so no experiment's
+         samples ever drop — a drop would make the merged multiset
+         depend on which domain absorbed which cell. *)
+      Telemetry.set_sample_capacity t 65536;
       Mutex.protect sinks_mu (fun () -> sinks := t :: !sinks);
       t)
 

@@ -123,11 +123,12 @@ let overhead (w : Workloads.Workload.t) run = Stats.pct (baseline w).cycles run.
    into this domain's sink so the harness can print one merged,
    scheduling-independent telemetry summary at the end. *)
 let instrumented ?(enable = true) ?telemetry ?(tag = "") ?(profile = false)
-    ?(best_of = 1) options (w : Workloads.Workload.t) : run * Session.t =
+    ?sample_every ?(heatmap = false) ?(best_of = 1) options
+    (w : Workloads.Workload.t) : run * Session.t =
   let once () =
     let session =
       Session.create ?telemetry ~trace:(Pool.trace_sink ()) ~options ~profile
-        w.source
+        ?sample_every ~heatmap w.source
     in
     if enable then Mrs.enable session.Session.mrs;
     let t0 = Unix.gettimeofday () in

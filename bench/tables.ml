@@ -883,3 +883,111 @@ let profile () =
   List.iter
     (fun (path, count) -> Printf.printf "%s %d\n" path count)
     (Pool.merged_profile ())
+
+(* --- Time-series sampler & heatmap overhead (BENCH_timeseries.json) -------------- *)
+
+(* Same workload and strategy, one run with the sampler and heatmap
+   attached (one sample every 50k executed instructions) and one
+   without.  Like the profiler, sampling adds no simulated cycles —
+   the dispatch-loop test lives outside the machine's cost model, so
+   the cycle column is identical by construction between the two rows;
+   what sampling costs is host time, which goes to [--json]
+   (BENCH_timeseries.json) as per-cell simulated MIPS under the same
+   <= 10% acceptance bound as the profiler.  Everything printed on
+   stdout is simulated and deterministic: sample counts, the ring's
+   closing values (equal to the end-of-run registry counters — the
+   conservation property the test suite pins), windowed peak rates,
+   and the per-page heatmap totals — so the [timeseries-smoke] alias
+   can diff [-j 1] against [-j 4] byte-for-byte.  The merged-sink
+   sample multiset in the trailing telemetry summary is sorted on
+   merge (concatenate, then sort by instruction count), which is what
+   keeps that section [-j]-independent too. *)
+let sample_interval = 50_000
+
+let timeseries_sampler () =
+  let names = [ "030.matrix300"; "022.li" ] in
+  let ws =
+    List.filter_map
+      (fun n ->
+        match Workloads.Spec.find n with
+        | Some w -> Some w
+        | None -> failwith ("timeseries: unknown workload " ^ n))
+      names
+  in
+  let cells = List.concat_map (fun w -> [ (w, true); (w, false) ]) ws in
+  let rows =
+    Pool.map
+      (fun ((w : Workloads.Workload.t), on) ->
+        let tag = if on then "timeseries-on" else "timeseries-off" in
+        let r, session =
+          Runner.instrumented ~tag
+            ?sample_every:(if on then Some sample_interval else None)
+            ~heatmap:on ~best_of:20
+            (Runner.options_for w Strategy.Bitmap_inline_registers)
+            w
+        in
+        let extra =
+          if not on then None
+          else begin
+            let rep = Session.report session in
+            Session.heatmap_sync_regions session;
+            let hm = Option.get session.Session.heatmap in
+            let conserved =
+              Heatmap.total_writes hm = r.Runner.stores
+              && (match List.rev rep.Telemetry.r_samples with
+                 | last :: _ ->
+                   List.assoc_opt "check_execs" last.Telemetry.s_values
+                   = List.assoc_opt "check_execs" rep.Telemetry.r_counters
+                 | [] -> false)
+            in
+            Some
+              ( rep,
+                ( Heatmap.n_pages hm,
+                  Heatmap.total_writes hm,
+                  Heatmap.total_checks hm,
+                  Heatmap.total_hits hm,
+                  List.length (Heatmap.never_fired hm) ),
+                conserved )
+          end
+        in
+        (w, on, r, extra))
+      cells
+  in
+  Printf.printf "\n== Time-series sampler (attached vs detached) ==\n";
+  Printf.printf "%-18s%10s%14s%14s%10s%10s\n" "Programs" "Sampler" "Cycles"
+    "Instrs" "Samples" "Dropped";
+  List.iter
+    (fun ((w : Workloads.Workload.t), on, (r : Runner.run), extra) ->
+      match extra with
+      | Some (rep, _, _) ->
+        Printf.printf "%-18s%10s%14d%14d%10d%10d\n" (lang_tag w)
+          (if on then "on" else "off")
+          r.Runner.cycles r.Runner.instrs
+          (List.length rep.Telemetry.r_samples)
+          rep.Telemetry.r_samples_dropped
+      | None ->
+        Printf.printf "%-18s%10s%14d%14d%10s%10s\n" (lang_tag w)
+          (if on then "on" else "off")
+          r.Runner.cycles r.Runner.instrs "-" "-")
+    rows;
+  Printf.printf "\n== Windowed rates (per %d instrs) ==\n" sample_interval;
+  List.iter
+    (fun ((w : Workloads.Workload.t), _, _, extra) ->
+      match extra with
+      | None -> ()
+      | Some (rep, _, _) ->
+        Printf.printf "%s:\n%s" (lang_tag w)
+          (Timeseries.summary_text ~window:sample_interval rep))
+    rows;
+  Printf.printf "\n== Address-space heatmap ==\n";
+  Printf.printf "%-18s%8s%12s%12s%10s%18s%14s\n" "Programs" "Pages" "Writes"
+    "Checks" "Hits" "MonitoredSilent" "Conservation";
+  List.iter
+    (fun ((w : Workloads.Workload.t), _, _, extra) ->
+      match extra with
+      | None -> ()
+      | Some (_, (pages, writes, checks, hits, silent), conserved) ->
+        Printf.printf "%-18s%8d%12d%12d%10d%18d%14s\n" (lang_tag w) pages
+          writes checks hits silent
+          (if conserved then "ok" else "VIOLATED"))
+    rows

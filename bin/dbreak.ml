@@ -10,7 +10,9 @@
      dbreak program.mc --dump-asm
      dbreak program.mc --stats
      dbreak program.mc --watch counter --metrics metrics.prom --trace 16
-     dbreak program.mc --profile prof.json --flamegraph prof.folded *)
+     dbreak program.mc --profile prof.json --flamegraph prof.folded
+     dbreak program.mc --timeseries ts.json --heatmap heat.ppm
+     dbreak program.mc --serve-metrics 9090 --serve-linger 30 *)
 
 open Cmdliner
 open Dbp
@@ -26,6 +28,15 @@ let write_file path contents =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
+
+(* Every export flag funnels through here: render only when the flag
+   was given, and let the shared [Sys_error] handler below turn an
+   unwritable path into the same one-line exit-1 failure for all of
+   them (the contract pinned by bin/dune's runtest rules). *)
+let export path_opt render =
+  match path_opt with
+  | None -> ()
+  | Some path -> write_file path (render ())
 
 let strategy_conv =
   let parse s =
@@ -57,7 +68,8 @@ let fail msg =
 
 let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_asm
     stats metrics trace fuel audit_file explain chrome_trace checkpoint_every
-    last_write travel profile_file flamegraph_file =
+    last_write travel profile_file flamegraph_file timeseries_file heatmap_file
+    sample_every serve_port serve_linger =
   try
     let source = read_file source_file in
     let options =
@@ -87,11 +99,35 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
           if last_write <> None || travel <> None then Some 10_000 else None
       in
       let profile = profile_file <> None || flamegraph_file <> None in
+      (* The sampler is armed whenever something consumes samples: a
+         --timeseries export or a live scrape endpoint. *)
+      let sample_every =
+        if timeseries_file <> None || serve_port <> None then Some sample_every
+        else None
+      in
       let session =
         Session.create ~options ~telemetry ~audit ~trace:tracer
-          ?checkpoint_every ~profile ~profile_clock:Unix.gettimeofday source
+          ?checkpoint_every ~profile ~profile_clock:Unix.gettimeofday
+          ?sample_every ~sample_clock:Unix.gettimeofday
+          ~heatmap:(heatmap_file <> None) source
       in
       Session.install_oracle session;
+      let server =
+        match serve_port with
+        | None -> None
+        | Some port ->
+          let srv =
+            Scrape.create ~port
+              ~metrics:(fun () -> Export.to_prometheus (Session.report session))
+              ()
+          in
+          Printf.printf "serving metrics on http://127.0.0.1:%d/metrics\n%!"
+            (Scrape.port srv);
+          (* Pending scrapes are answered from the sampler hook, so a
+             request waits at most one sampling interval. *)
+          Session.set_on_sample session (fun _ -> ignore (Scrape.poll srv));
+          Some srv
+      in
       let dbg = Debugger.create session in
       List.iter
         (fun spec ->
@@ -136,6 +172,25 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
             | None -> "")
             be.Profile.be_count
         | [] -> ());
+      (match (session.Session.timeseries, timeseries_file) with
+      | Some _, Some _ ->
+        let rep = Session.report session in
+        Printf.printf "--- timeseries (every %d instrs, %d samples) ---\n%s"
+          rep.Telemetry.r_sample_every
+          (List.length rep.Telemetry.r_samples)
+          (Timeseries.summary_text rep)
+      | _ -> ());
+      (match session.Session.heatmap with
+      | None -> ()
+      | Some hm ->
+        Session.heatmap_sync_regions session;
+        Printf.printf
+          "--- heatmap (%d-byte pages): %d touched, writes %d, checks %d, \
+           hits %d; monitored pages never hit: %d ---\n"
+          (Heatmap.page_bytes hm) (Heatmap.n_pages hm)
+          (Heatmap.total_writes hm) (Heatmap.total_checks hm)
+          (Heatmap.total_hits hm)
+          (List.length (Heatmap.never_fired hm)));
       if stats then begin
         let s = Session.stats session in
         let c = Mrs.counters session.Session.mrs in
@@ -214,35 +269,49 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
           s.Machine.Cpu.instrs);
       (* Exports come after the retroactive queries so the metrics and
          audit journal include the checkpoint/replay lifecycle they
-         triggered. *)
-      (match metrics with
-      | Some path ->
-        let rep = Session.report session in
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc (Export.to_prometheus rep))
-      | None -> ());
-      (match audit_file with
-      | Some path ->
-        write_file path (Audit.to_json_string ~indent:1 (Audit.report audit))
-      | None -> ());
-      (match chrome_trace with
-      | Some path ->
-        let counters =
-          match session.Session.profiler with
-          | Some p -> Profile.chrome_counters p
-          | None -> []
+         triggered.  All of them go through [export] for the shared
+         unwritable-path failure behavior. *)
+      export metrics (fun () -> Export.to_prometheus (Session.report session));
+      export audit_file (fun () ->
+          Audit.to_json_string ~indent:1 (Audit.report audit));
+      export chrome_trace (fun () ->
+          let counters =
+            (match session.Session.profiler with
+            | Some p -> Profile.chrome_counters p
+            | None -> [])
+            @
+            match session.Session.timeseries with
+            | Some ts -> Timeseries.chrome_counters ts
+            | None -> []
+          in
+          Trace.to_chrome_string ~counters [ tracer ]);
+      (match profile_rep with
+      | None -> ()
+      | Some rep ->
+        export profile_file (fun () -> Profile.to_json_string ~indent:1 rep);
+        export flamegraph_file (fun () -> Profile.folded_to_string rep));
+      export timeseries_file (fun () ->
+          Timeseries.to_json_string (Session.report session));
+      (match (heatmap_file, session.Session.heatmap) with
+      | Some path, Some hm ->
+        Session.heatmap_sync_regions session;
+        let render =
+          (* Pick the render from the extension: an image for .ppm,
+             machine-readable JSON for .json, the table otherwise. *)
+          if Filename.check_suffix path ".ppm" then Heatmap.to_ppm
+          else if Filename.check_suffix path ".json" then Heatmap.to_json_string
+          else Heatmap.to_text
         in
-        write_file path (Trace.to_chrome_string ~counters [ tracer ])
-      | None -> ());
-      (match (profile_file, profile_rep) with
-      | Some path, Some rep ->
-        write_file path (Profile.to_json_string ~indent:1 rep)
+        export heatmap_file (fun () -> render hm)
       | _ -> ());
-      (match (flamegraph_file, profile_rep) with
-      | Some path, Some rep -> write_file path (Profile.folded_to_string rep)
-      | _ -> ());
+      (match server with
+      | None -> ()
+      | Some srv ->
+        (* Linger after the run (and after the exports, so files never
+           wait on a scrape window) for one-shot scrapers like CI curl,
+           then shut the endpoint down. *)
+        if serve_linger > 0. then Scrape.serve_for srv ~seconds:serve_linger;
+        Scrape.close srv);
       match !replay_failed with
       | Some code -> code
       | None -> (
@@ -386,6 +455,41 @@ let flamegraph_arg =
              ('main;f;g <instrs>' lines, loadable by flamegraph.pl and \
              speedscope) to $(docv) after the run.")
 
+let timeseries_arg =
+  Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"FILE"
+       ~doc:"Arm the time-series sampler (see --sample-every) and write \
+             its dbp-timeseries/1 JSON document — sampling metadata, the \
+             cumulative counter snapshots along the instruction axis, and \
+             windowed peak/mean rate summaries — to $(docv) after the run.")
+
+let heatmap_arg =
+  Arg.(value & opt (some string) None & info [ "heatmap" ] ~docv:"FILE"
+       ~doc:"Record an address-space heatmap (per-page write/check/hit \
+             density plus monitored-page marks) and render it to $(docv) \
+             after the run.  The extension picks the format: .ppm a \
+             plain-text PPM image (red writes, green checks, blue hits), \
+             .json the dbp-heatmap/1 document, anything else an aligned \
+             text table.")
+
+let sample_every_arg =
+  Arg.(value & opt int 100_000 & info [ "sample-every" ] ~docv:"N"
+       ~doc:"Sampling interval in executed instructions for --timeseries \
+             and --serve-metrics (default 100000).")
+
+let serve_metrics_arg =
+  Arg.(value & opt (some int) None & info [ "serve-metrics" ] ~docv:"PORT"
+       ~doc:"Serve the live telemetry report as Prometheus exposition \
+             text at http://127.0.0.1:$(docv)/metrics while the program \
+             runs (0 binds an ephemeral port, printed at startup).  \
+             Scrapes are answered from the sampling hook, within one \
+             --sample-every interval.")
+
+let serve_linger_arg =
+  Arg.(value & opt float 0. & info [ "serve-linger" ] ~docv:"SECONDS"
+       ~doc:"Keep answering --serve-metrics scrapes for $(docv) seconds \
+             after the run and its exports finish — a window for one-shot \
+             scrapers to collect the final counters.")
+
 let cmd =
   let doc = "practical data breakpoints for mini-C programs" in
   let man =
@@ -400,13 +504,15 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "dbreak" ~version:"1.1" ~doc ~man)
+    (Cmd.info "dbreak" ~version:"1.2" ~doc ~man)
     Term.(
       const run_cmd $ source_arg $ watch_arg $ strategy_arg $ opt_arg
       $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ metrics_arg
       $ trace_arg $ fuel_arg $ audit_file_arg $ explain_arg
       $ chrome_trace_arg $ checkpoint_every_arg $ last_write_arg
-      $ travel_arg $ profile_arg $ flamegraph_arg)
+      $ travel_arg $ profile_arg $ flamegraph_arg $ timeseries_arg
+      $ heatmap_arg $ sample_every_arg $ serve_metrics_arg
+      $ serve_linger_arg)
 
 (* Conventional exit codes: 0 success (including --help/--version), 1 a
    runtime failure reported by the tool itself ({!fail}), 2 a

@@ -42,6 +42,9 @@ type t = {
   mutable regions : Region.set;
   mutable enabled : bool;
   mutable callback : (hit -> unit) option;
+  (* Passive hit observers (heatmaps, tooling): all run after the
+     user callback, never replace it. *)
+  mutable observers : (hit -> unit) list;
   patched : (int, unit) Hashtbl.t;  (* origins with inserted checks *)
   site_addr : (int, int) Hashtbl.t;     (* origin -> text address *)
   patch_addr : (int, int) Hashtbl.t;
@@ -337,6 +340,8 @@ let delete_region ?(why = "user") t region =
 
 let set_callback t f = t.callback <- Some f
 
+let add_hit_observer t f = t.observers <- t.observers @ [ f ]
+
 let enable t =
   t.enabled <- true;
   Cpu.set t.cpu g6 0
@@ -374,9 +379,9 @@ let on_hit ?(access = Write) t cpu =
     tel_incr t Telemetry.User_hits;
     if access = Read then tel_incr t Telemetry.Read_hits;
     tel_hit t cpu ~access ~addr ~pc (Some region);
-    (match t.callback with
-    | Some f -> f { addr; pc; region; access }
-    | None -> ())
+    let h = { addr; pc; region; access } in
+    (match t.callback with Some f -> f h | None -> ());
+    List.iter (fun f -> f h) t.observers
   | Some ({ Region.kind = Region.Internal; _ } as region) ->
     t.counters.internal_hits <- t.counters.internal_hits + 1;
     tel_incr t Telemetry.Internal_hits;
@@ -503,6 +508,7 @@ let install ?(protect_self = false) ?telemetry ?audit ~(plan : Instrument.t)
       regions = Region.empty;
       enabled = false;
       callback = None;
+      observers = [];
       patched = Hashtbl.create 64;
       site_addr = Hashtbl.create 256;
       patch_addr = Hashtbl.create 64;
@@ -627,11 +633,12 @@ let install ?(protect_self = false) ?telemetry ?audit ~(plan : Instrument.t)
                pc is exactly its site label's address. *)
             tel_hit t cpu ~access:Write ~addr:(Word.to_unsigned addr)
               ~pc:(Cpu.pc cpu) (Some region);
-            (match t.callback with
-            | Some f ->
-              f { addr = Word.to_unsigned addr; pc = Cpu.pc cpu;
-                  region; access = Write }
-            | None -> ())
+            let h =
+              { addr = Word.to_unsigned addr; pc = Cpu.pc cpu;
+                region; access = Write }
+            in
+            (match t.callback with Some f -> f h | None -> ());
+            List.iter (fun f -> f h) t.observers
           | Some _ | None -> ()
         end)
   | _ -> ());

@@ -74,6 +74,11 @@ val regions : t -> Region.set
 val set_callback : t -> (hit -> unit) -> unit
 (** The NotificationCallBack; fired for every hit on a [User] region. *)
 
+val add_hit_observer : t -> (hit -> unit) -> unit
+(** Register a passive observer (heatmaps, tooling) fired for every
+    [User]-region hit after the callback.  Observers accumulate —
+    unlike {!set_callback} they never replace each other. *)
+
 val enable : t -> unit
 val disable : t -> unit
 

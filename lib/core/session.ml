@@ -24,6 +24,12 @@ type t = {
   mutable expected_hits : (int * int) list;  (* oracle: addr, access pc *)
   functions : string list;
   profiler : Profile.t option;  (* present iff [~profile:true] *)
+  timeseries : Timeseries.t option;  (* present iff [?sample_every] *)
+  heatmap : Heatmap.t option;  (* present iff [~heatmap:true] *)
+  on_sample : (int -> unit) ref;
+      (* extra per-sample callback (scrape-server polling) *)
+  observers_live : bool ref;
+      (* heatmap recording gate; lowered around replay re-execution *)
 }
 
 let site_kind_of_status = function
@@ -33,7 +39,8 @@ let site_kind_of_status = function
 
 let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false)
     ?telemetry ?audit ?trace ?checkpoint_every ?checkpoint_budget
-    ?(profile = false) ?profile_clock source =
+    ?(profile = false) ?profile_clock ?sample_every ?sample_clock
+    ?(heatmap = false) source =
   let telemetry =
     match telemetry with Some tel -> tel | None -> Telemetry.create ()
   in
@@ -217,6 +224,86 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
       Some p
     end
   in
+  (* Address-space heatmap: a store hook paints per-page write density
+     (plus check density where the store's pc is a site or patch-stub
+     label — the same pc → site identification the oracle uses), and an
+     MRS hit observer paints hit density.  The [observers_live] gate is
+     lowered around replay re-execution so replayed stores are not
+     double-counted. *)
+  let observers_live = ref true in
+  let heatmap =
+    if not heatmap then None
+    else begin
+      let hm = Heatmap.create ~page_bits:Memory.page_bits () in
+      (* The hook runs on every store, so the pc → is-check-site test
+         is a flat bitmap over the (fixed) site/patch-stub pc range
+         rather than a hash lookup.  [store_pc_type] is fully built
+         above and never grows afterwards. *)
+      let check_lo, check_hi =
+        Hashtbl.fold
+          (fun pc _ (lo, hi) -> (min lo pc, max hi pc))
+          store_pc_type (max_int, -1)
+      in
+      let check_bm =
+        if check_hi < check_lo then Bytes.empty
+        else begin
+          let bm = Bytes.make (((check_hi - check_lo) lsr 2) + 1) '\000' in
+          Hashtbl.iter
+            (fun pc _ -> Bytes.set bm ((pc - check_lo) lsr 2) '\001')
+            store_pc_type;
+          bm
+        end
+      in
+      Cpu.set_store_hook cpu (fun cpu ~addr ~width:_ ->
+          if !observers_live then begin
+            Heatmap.record_write hm addr;
+            let pc = Cpu.pc cpu in
+            if
+              pc >= check_lo && pc <= check_hi
+              && Bytes.unsafe_get check_bm ((pc - check_lo) lsr 2) <> '\000'
+            then Heatmap.record_check hm addr
+          end);
+      Mrs.add_hit_observer mrs (fun (h : Mrs.hit) ->
+          if !observers_live then Heatmap.record_hit hm h.Mrs.addr);
+      Some hm
+    end
+  in
+  (* Time-series sampler: the dispatch-loop hook snapshots the live
+     registry counters every [sample_every] executed instructions.  The
+     metric set is the run's vital signs: check executions, MRS hits,
+     segment-cache misses, checkpoint bytes and replayed instructions. *)
+  let on_sample = ref (fun (_ : int) -> ()) in
+  let timeseries =
+    match sample_every with
+    | None -> None
+    | Some every ->
+      let metrics =
+        [
+          { Timeseries.m_name = "check_execs";
+            m_read = (fun () -> Telemetry.current telemetry Telemetry.Check_execs) };
+          { Timeseries.m_name = "user_hits";
+            m_read = (fun () -> Telemetry.current telemetry Telemetry.User_hits) };
+          { Timeseries.m_name = "cache_misses";
+            m_read =
+              (fun () ->
+                Telemetry.typed_total telemetry Telemetry.Cache_misses_by_type) };
+          { Timeseries.m_name = "checkpoint_bytes";
+            m_read =
+              (fun () -> Telemetry.current telemetry Telemetry.Checkpoint_bytes) };
+          { Timeseries.m_name = "replayed_instrs";
+            m_read =
+              (fun () -> Telemetry.current telemetry Telemetry.Replayed_instrs) };
+        ]
+      in
+      let ts =
+        Timeseries.create ?clock:sample_clock ~every ~registry:telemetry
+          ~metrics ()
+      in
+      Cpu.sample_install cpu ~every ~hook:(fun insn ->
+          Timeseries.sample ts ~insn;
+          !on_sample insn);
+      Some ts
+  in
   {
     plan;
     image;
@@ -232,6 +319,10 @@ let create ?config ?(options = Instrument.default_options) ?(protect_mrs = false
     expected_hits = [];
     functions = plan.Instrument.functions;
     profiler;
+    timeseries;
+    heatmap;
+    on_sample;
+    observers_live;
   }
 
 let site_executions t origin =
@@ -350,28 +441,37 @@ let enrich t (h : Replay.hit) =
   { wr_hit = h; wr_write_type = Hashtbl.find_opt t.store_pc_type h.Replay.h_pc }
 
 (* Replay queries roll the machine back and re-execute recorded
-   instructions; pausing the profiler around them keeps the replayed
-   steps from being double-counted into the block/edge arrays. *)
-let without_profiler t f =
-  if t.profiler <> None && Cpu.profile_enabled t.cpu then begin
-    Cpu.profile_set_enabled t.cpu false;
-    Fun.protect ~finally:(fun () -> Cpu.profile_set_enabled t.cpu true) f
-  end
-  else f ()
+   instructions; pausing the profiler, the time-series sampler and the
+   heatmap hooks around them keeps the replayed steps from being
+   double-counted into their arrays (and keeps rolled-back instruction
+   counts from producing phantom samples). *)
+let without_observers t f =
+  let prof = t.profiler <> None && Cpu.profile_enabled t.cpu in
+  let samp = t.timeseries <> None && Cpu.sample_enabled t.cpu in
+  let live = !(t.observers_live) in
+  if prof then Cpu.profile_set_enabled t.cpu false;
+  if samp then Cpu.sample_set_enabled t.cpu false;
+  t.observers_live := false;
+  Fun.protect
+    ~finally:(fun () ->
+      if prof then Cpu.profile_set_enabled t.cpu true;
+      if samp then Cpu.sample_set_enabled t.cpu true;
+      t.observers_live := live)
+    f
 
 let last_write ?guard t ~addr =
   let r = require_replay t "Session.last_write" in
-  without_profiler t (fun () ->
+  without_observers t (fun () ->
       Option.map (enrich t) (Replay.last_write_word ?guard r ~addr))
 
 let write_history ?guard t ~lo ~hi =
   let r = require_replay t "Session.write_history" in
-  without_profiler t (fun () ->
+  without_observers t (fun () ->
       List.map (enrich t) (Replay.write_history ?guard r ~lo ~hi))
 
 let time_travel ?guard t ~insn =
   let r = require_replay t "Session.time_travel" in
-  without_profiler t (fun () -> Replay.travel ?guard r ~insn)
+  without_observers t (fun () -> Replay.travel ?guard r ~insn)
 
 (* Resolve a CLI watch target to an address: a 0x-hex or decimal
    numeral, or a global variable name from the symbol table. *)
@@ -411,6 +511,13 @@ let report t =
   Telemetry.set t.telemetry Telemetry.Load_hook_dispatches
     (Cpu.load_hook_dispatches t.cpu);
   Telemetry.set t.telemetry Telemetry.Trap_dispatches (Cpu.trap_count t.cpu);
+  (* Monotonic, like the sample-ring finalize below: replay queries
+     roll the machine's stats back, but the end-of-run store total is
+     what the heatmap's per-page write counts conserve against. *)
+  Telemetry.set t.telemetry Telemetry.Store_execs
+    (max
+       (Telemetry.get t.telemetry Telemetry.Store_execs)
+       (Cpu.stats t.cpu).Cpu.stores);
   (match t.profiler with
   | Some p ->
     (* The exec-array sum, not [instr_count]: replay queries run with
@@ -419,7 +526,30 @@ let report t =
       (Profile.profiled_instrs p);
     Telemetry.set t.telemetry Telemetry.Prof_transfers (Profile.transfers p)
   | None -> ());
+  (* Close the sample ring: the final sample makes the last ring entry
+     equal the end-of-run counter values (idempotent — [sample] ignores
+     non-increasing instruction counts, so repeated reports and
+     post-travel rollbacks add nothing). *)
+  (match t.timeseries with
+  | Some ts -> Timeseries.finalize ts ~insn:(Cpu.instr_count t.cpu)
+  | None -> ());
   Telemetry.report t.telemetry
+
+let set_on_sample t f = t.on_sample := f
+
+(* Paint the current MRS region set into the heatmap's monitored marks
+   (call before rendering: regions armed then deleted re-paint on the
+   next call only if still present — the map answers "which monitored
+   pages never fired" for the regions armed now). *)
+let heatmap_sync_regions t =
+  match t.heatmap with
+  | None -> ()
+  | Some hm ->
+    Region.iter
+      (fun r ->
+        if r.Region.kind = Region.User then
+          Heatmap.mark_monitored hm ~lo:r.Region.lo ~hi:r.Region.hi)
+      (Mrs.regions t.mrs)
 
 let profile_report t =
   match t.profiler with

@@ -21,6 +21,14 @@ type t = {
   functions : string list;
   profiler : Profile.t option;
       (** hot-path profiler, present iff [profile] was given *)
+  timeseries : Timeseries.t option;
+      (** time-series sampler, present iff [sample_every] was given *)
+  heatmap : Heatmap.t option;
+      (** address-space heatmap, present iff [heatmap] was given *)
+  on_sample : (int -> unit) ref;
+      (** extra per-sample callback — see {!set_on_sample} *)
+  observers_live : bool ref;
+      (** heatmap recording gate, lowered around replay re-execution *)
 }
 
 val create :
@@ -34,6 +42,9 @@ val create :
   ?checkpoint_budget:int ->
   ?profile:bool ->
   ?profile_clock:(unit -> float) ->
+  ?sample_every:int ->
+  ?sample_clock:(unit -> float) ->
+  ?heatmap:bool ->
   string ->
   t
 (** Build a session from mini-C source.  [protect_mrs] arms the MRS's
@@ -69,6 +80,21 @@ val create :
     exports).  Replay queries pause it, so replayed instructions are
     never double-counted.  [profile_clock] timestamps its Perfetto
     counter samples (pass [Unix.gettimeofday]; default: a constant).
+
+    [sample_every] arms the time-series sampler: every N executed
+    instructions the dispatch-loop hook snapshots the registry's vital
+    signs (check executions, MRS hits, segment-cache misses, checkpoint
+    bytes, replayed instructions) into the registry's sample ring —
+    read them from {!report}'s [r_samples] or via {!Timeseries}'s
+    exports.  [sample_clock] timestamps the sampler's Perfetto counter
+    tracks only (default: a constant; samples themselves never carry
+    wall-clock time).  Replay queries pause the sampler.
+
+    [heatmap] (default false) attaches the address-space heatmap: a
+    store hook paints per-page write/check density and an MRS observer
+    paints hit density — render with the [heatmap] field's
+    {!Heatmap.to_text}/[to_json_string]/[to_ppm] after calling
+    {!heatmap_sync_regions}.  Replay queries pause heatmap recording.
     @raise Failure if the instrumented program fails to assemble.
     @raise Minic.Compile.Error on compilation errors. *)
 
@@ -131,8 +157,21 @@ val stats : t -> Machine.Cpu.stats
 val report : t -> Telemetry.report
 (** Freeze the session's registry into a report, first folding in the
     snapshot gauges (segment-arena occupancy), the interpreter's
-    probe/hook/trap dispatch counts and — when profiling — the
-    profiler's instruction/transfer totals. *)
+    probe/hook/trap dispatch counts, the store-execution total and —
+    when profiling — the profiler's instruction/transfer totals.  With
+    a sampler armed, the sample ring is finalized first: its last entry
+    equals the end-of-run counter values (idempotent across repeated
+    reports). *)
+
+val set_on_sample : t -> (int -> unit) -> unit
+(** Register an extra callback fired on every time-series sample with
+    the live instruction count — the scrape server's poll point.
+    No-op unless the session was created with [sample_every]. *)
+
+val heatmap_sync_regions : t -> unit
+(** Paint the MRS's current [User] regions into the heatmap's
+    monitored-page marks (so renders can flag monitored pages that
+    never fired).  Call before rendering; no-op without [heatmap]. *)
 
 val profile_report : t -> Profile.report
 (** Freeze the profiler at the machine's current instruction/cycle

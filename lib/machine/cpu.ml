@@ -100,6 +100,15 @@ type t = {
   mutable prof_exec : int array;
   mutable prof_taken : int array;
   mutable prof_transfer : int -> int -> unit;  (* kind, executed slot *)
+  (* Time-series sampler hook: a countdown over executed instructions.
+     Same discipline as the profiler — a sampler-off run pays exactly
+     one boolean test per step; when armed, one decrement per step and
+     the hook fires with the live instruction count every [samp_every]
+     executed instructions.  Never touches {!stats}. *)
+  mutable samp_on : bool;
+  mutable samp_every : int;
+  mutable samp_left : int;
+  mutable samp_hook : int -> unit;
 }
 
 let faultf t fmt =
@@ -211,6 +220,30 @@ let profile_set_enabled t on =
   if on && Array.length t.prof_exec = 0 then
     invalid_arg "Cpu.profile_set_enabled: no profiler installed";
   t.prof_on <- on
+
+let sample_install t ~every ~hook =
+  if every < 1 then invalid_arg "Cpu.sample_install: every must be >= 1";
+  t.samp_every <- every;
+  t.samp_left <- every;
+  t.samp_hook <- hook;
+  t.samp_on <- true
+
+let sample_enabled t = t.samp_on
+
+let sample_set_enabled t on =
+  if on && t.samp_every = 0 then
+    invalid_arg "Cpu.sample_set_enabled: no sampler installed";
+  t.samp_on <- on
+
+(* Post-step sampler countdown; fires the hook on every [samp_every]th
+   executed instruction. *)
+let[@inline] samp_step t =
+  let left = t.samp_left - 1 in
+  if left <= 0 then begin
+    t.samp_left <- t.samp_every;
+    t.samp_hook t.ninstrs
+  end
+  else t.samp_left <- left
 
 let prof_repatch t i insn =
   let c = t.prof_exec in
@@ -755,6 +788,10 @@ let create ?(config = default_config) (image : Assembler.image) =
       prof_exec = [||];
       prof_taken = [||];
       prof_transfer = (fun _ _ -> ());
+      samp_on = false;
+      samp_every = 0;
+      samp_left = 0;
+      samp_hook = ignore;
     }
   in
   Windows.set t.win Reg.sp 0x7FFF_FF00;
@@ -780,7 +817,8 @@ let step t =
     t.ninstrs <- t.ninstrs + 1;
     add_cycles t 1;
     (Array.unsafe_get t.code idx) t;
-    if t.prof_on then prof_step t idx
+    if t.prof_on then prof_step t idx;
+    if t.samp_on then samp_step t
   end
   else begin
     t.nprobe_dispatches <- t.nprobe_dispatches + Array.length ps;
@@ -794,7 +832,8 @@ let step t =
     t.ninstrs <- t.ninstrs + 1;
     add_cycles t 1;
     execute t insn (t.pc + 4);
-    if t.prof_on then prof_step t eidx
+    if t.prof_on then prof_step t eidx;
+    if t.samp_on then samp_step t
   end
 
 let halt t code = t.halted <- Some code

@@ -213,3 +213,23 @@ val profile_set_enabled : t -> bool -> unit
     pauses it around rollback/re-execution so replayed instructions are
     not double-counted.  @raise Invalid_argument when enabling with no
     profiler installed. *)
+
+(** {1 Time-series sampler hook}
+
+    The interpreter side of the telemetry sampler: a countdown over
+    executed instructions that fires a closure every [every]th step
+    with the live instruction count.  Same gating discipline as the
+    profiler — never part of {!stats}, and with no sampler installed
+    (or the sampler paused) every step pays one boolean test. *)
+
+val sample_install : t -> every:int -> hook:(int -> unit) -> unit
+(** Arm the sampler: [hook insn] fires after every [every]th executed
+    instruction.  @raise Invalid_argument when [every < 1]. *)
+
+val sample_enabled : t -> bool
+
+val sample_set_enabled : t -> bool -> unit
+(** Pause/resume a previously installed sampler — the replay layer
+    pauses it around rollback/re-execution so replayed instructions do
+    not produce phantom samples.  @raise Invalid_argument when enabling
+    with no sampler installed. *)

@@ -251,6 +251,13 @@ let event_to_json (e : event) =
       ("insn", Int e.ev_insn);
     ]
 
+let sample_to_json (s : sample) =
+  Obj
+    [
+      ("insn", Int s.s_insn);
+      ("values", Obj (List.map (fun (k, v) -> (k, Int v)) s.s_values));
+    ]
+
 let site_to_json (s : site_report) =
   Obj
     [
@@ -278,6 +285,10 @@ let to_json (r : report) =
       ("read_sites", List (List.map site_to_json r.r_read_sites));
       ("events", List (List.map event_to_json r.r_events));
       ("events_dropped", Int r.r_events_dropped);
+      ("sample_every", Int r.r_sample_every);
+      ("sample_metrics", List (List.map (fun m -> Str m) r.r_sample_metrics));
+      ("samples", List (List.map sample_to_json r.r_samples));
+      ("samples_dropped", Int r.r_samples_dropped);
     ]
 
 let get_field name fields =
@@ -314,6 +325,14 @@ let event_of_json v =
     ev_insn = as_int (get_field "insn" f);
   }
 
+let sample_of_json v =
+  let f = as_obj v in
+  {
+    s_insn = as_int (get_field "insn" f);
+    s_values =
+      List.map (fun (k, v) -> (k, as_int v)) (as_obj (get_field "values" f));
+  }
+
 let site_of_json v =
   let f = as_obj v in
   {
@@ -343,6 +362,11 @@ let of_json v =
     r_read_sites = List.map site_of_json (as_list (get_field "read_sites" f));
     r_events = List.map event_of_json (as_list (get_field "events" f));
     r_events_dropped = as_int (get_field "events_dropped" f);
+    r_sample_every = as_int (get_field "sample_every" f);
+    r_sample_metrics =
+      List.map as_str (as_list (get_field "sample_metrics" f));
+    r_samples = List.map sample_of_json (as_list (get_field "samples" f));
+    r_samples_dropped = as_int (get_field "samples_dropped" f);
   }
 
 let to_json_string ?indent r = json_to_string ?indent (to_json r)
@@ -369,37 +393,101 @@ let label_string labels =
         (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize k) (escape v)) labels)
     ^ "}"
 
+(* Exposition-format families: every family is announced by one HELP
+   and one TYPE line and emits all its samples contiguously (the format
+   forbids interleaving samples of different families).  Scalar report
+   counters that are point-in-time snapshots rather than monotonic
+   totals are typed as gauges. *)
+let prometheus_gauges =
+  [
+    "seg_words_monitored"; "seg_arena_bytes"; "sites_total"; "sites_checked";
+    "sites_sym_eliminated"; "sites_loop_eliminated";
+  ]
+
 let to_prometheus (r : report) =
-  let b = Buffer.create 1024 in
-  let line name labels v =
-    Buffer.add_string b
-      (Printf.sprintf "dbp_%s%s %d\n" (sanitize name) (label_string (r.r_tags @ labels)) v)
+  let b = Buffer.create 4096 in
+  let family name ~help ~typ samples =
+    if samples <> [] then begin
+      let name = "dbp_" ^ sanitize name in
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ);
+      List.iter
+        (fun (labels, v) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" name
+               (label_string (r.r_tags @ labels))
+               v))
+        samples
+    end
   in
   Buffer.add_string b (Printf.sprintf "# dbp telemetry %s\n" r.r_schema);
-  List.iter (fun (k, v) -> line k [] v) r.r_counters;
+  List.iter
+    (fun (k, v) ->
+      let typ =
+        if List.mem k prometheus_gauges then "gauge" else "counter"
+      in
+      family k ~help:(Printf.sprintf "Telemetry counter %s." k) ~typ
+        [ ([], v) ])
+    r.r_counters;
   List.iter
     (fun (k, cells) ->
-      List.iter (fun (wt, v) -> line k [ ("write_type", wt) ] v) cells)
+      family k
+        ~help:(Printf.sprintf "Telemetry counter %s keyed by write type." k)
+        ~typ:"counter"
+        (List.map (fun (wt, v) -> ([ ("write_type", wt) ], v)) cells))
     r.r_typed;
-  let site_lines prefix sites =
-    List.iter
-      (fun (s : site_report) ->
-        let labels =
-          [
-            ("site", string_of_int s.sr_site);
-            ("write_type", s.sr_write_type);
-            ("kind", s.sr_kind);
-          ]
-        in
-        line (prefix ^ "_exec") labels s.sr_exec;
-        line (prefix ^ "_hits") labels s.sr_hits;
-        if s.sr_patched > 0 then line (prefix ^ "_patched") labels s.sr_patched)
-      sites
+  let site_families prefix what (sites : site_report list) =
+    let labels (s : site_report) =
+      [
+        ("site", string_of_int s.sr_site);
+        ("write_type", s.sr_write_type);
+        ("kind", s.sr_kind);
+      ]
+    in
+    family (prefix ^ "_exec")
+      ~help:(Printf.sprintf "Check executions per %s site." what)
+      ~typ:"counter"
+      (List.map (fun s -> (labels s, s.sr_exec)) sites);
+    family (prefix ^ "_hits")
+      ~help:(Printf.sprintf "Monitored-region hits per %s site." what)
+      ~typ:"counter"
+      (List.map (fun s -> (labels s, s.sr_hits)) sites);
+    family (prefix ^ "_patched")
+      ~help:
+        (Printf.sprintf "Kessler-patched check executions per %s site." what)
+      ~typ:"counter"
+      (List.filter_map
+         (fun (s : site_report) ->
+           if s.sr_patched > 0 then Some (labels s, s.sr_patched) else None)
+         sites)
   in
-  site_lines "site" r.r_sites;
-  site_lines "read_site" r.r_read_sites;
-  line "trace_events_retained" [] (List.length r.r_events);
-  line "trace_events_dropped" [] r.r_events_dropped;
+  site_families "site" "write" r.r_sites;
+  site_families "read_site" "read" r.r_read_sites;
+  family "trace_events_retained"
+    ~help:"Hit-trace events retained in the ring buffer." ~typ:"gauge"
+    [ ([], List.length r.r_events) ];
+  family "trace_events_dropped"
+    ~help:"Hit-trace events dropped by the ring buffer." ~typ:"counter"
+    [ ([], r.r_events_dropped) ];
+  (* Time-series sampler families (v5). *)
+  family "timeseries_interval_instrs"
+    ~help:"Instructions between time-series samples (0 when off)."
+    ~typ:"gauge"
+    [ ([], r.r_sample_every) ];
+  family "timeseries_samples_retained"
+    ~help:"Time-series samples retained in the sample ring." ~typ:"gauge"
+    [ ([], List.length r.r_samples) ];
+  family "timeseries_samples_dropped"
+    ~help:"Time-series samples dropped by the sample ring." ~typ:"counter"
+    [ ([], r.r_samples_dropped) ];
+  (match List.rev r.r_samples with
+  | [] -> ()
+  | last :: _ ->
+    family "timeseries_last"
+      ~help:"Most recent time-series sample, one series per metric."
+      ~typ:"gauge"
+      (([ ("metric", "insn") ], last.s_insn)
+      :: List.map (fun (m, v) -> ([ ("metric", m) ], v)) last.s_values));
   Buffer.contents b
 
 (* --- human text ----------------------------------------------------------------- *)
@@ -437,6 +525,16 @@ let to_text (r : report) =
         p "    site %-4d %-8s %-8s exec=%-10d hits=%d\n" s.sr_site
           s.sr_write_type s.sr_kind s.sr_exec s.sr_hits)
       hot
+  end;
+  if r.r_samples <> [] || r.r_samples_dropped > 0 then begin
+    p "  samples (%d retained, %d dropped, every %d instrs):\n"
+      (List.length r.r_samples) r.r_samples_dropped r.r_sample_every;
+    match List.rev r.r_samples with
+    | [] -> ()
+    | last :: _ ->
+      p "    last @ insn %d: %s\n" last.s_insn
+        (String.concat " "
+           (List.map (fun (m, v) -> Printf.sprintf "%s=%d" m v) last.s_values))
   end;
   if r.r_events <> [] || r.r_events_dropped > 0 then begin
     p "  trace (%d retained, %d dropped):\n" (List.length r.r_events)

@@ -42,10 +42,15 @@ val to_json_string : ?indent:int -> Telemetry.report -> string
 val of_json_string : string -> Telemetry.report
 
 val to_prometheus : Telemetry.report -> string
-(** One [dbp_<counter>] line per scalar counter, write-type-keyed
-    counters with a [write_type] label, per-site counters with
-    [site]/[write_type]/[kind] labels; report tags become labels on
-    every line. *)
+(** Prometheus exposition text: one family per scalar counter,
+    write-type-keyed counters with a [write_type] label, per-site
+    counters with [site]/[write_type]/[kind] labels, and the v5
+    time-series families ([dbp_timeseries_interval_instrs],
+    [dbp_timeseries_samples_retained]/[_dropped] and one
+    [dbp_timeseries_last{metric="…"}] gauge per sampled metric).
+    Report tags become labels on every line.  Each family is announced
+    by [# HELP]/[# TYPE] lines and emits its samples contiguously, per
+    the exposition format. *)
 
 val to_text : Telemetry.report -> string
 (** Aligned human-readable summary: tags, non-zero counters, write-type

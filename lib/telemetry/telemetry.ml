@@ -43,6 +43,9 @@ type counter =
   (* Hot-path profiler (v4). *)
   | Profiled_instrs
   | Prof_transfers
+  (* Time-series sampler / heatmap (v5). *)
+  | Store_execs
+  | Samples_taken
 
 let all_counters =
   [
@@ -55,7 +58,7 @@ let all_counters =
     Store_hook_dispatches; Load_hook_dispatches; Trap_dispatches;
     Checkpoints_taken; Checkpoint_pages_copied; Checkpoint_pages_shared;
     Checkpoint_bytes; Checkpoint_evictions; Restores; Replayed_instrs;
-    Profiled_instrs; Prof_transfers;
+    Profiled_instrs; Prof_transfers; Store_execs; Samples_taken;
   ]
 
 let counter_name = function
@@ -95,6 +98,8 @@ let counter_name = function
   | Replayed_instrs -> "replayed_instrs"
   | Profiled_instrs -> "profiled_instrs"
   | Prof_transfers -> "prof_transfers"
+  | Store_execs -> "store_execs"
+  | Samples_taken -> "samples_taken"
 
 let counter_index =
   let tbl = Hashtbl.create 32 in
@@ -169,6 +174,11 @@ let site_kind_checked = 0
 let site_kind_sym = 1
 let site_kind_loop = 2
 
+type sample = {
+  s_insn : int;
+  s_values : (string * int) list;
+}
+
 type t = {
   mutable on : bool;
   scalars : int array;
@@ -182,6 +192,12 @@ type t = {
   mutable rsite_hit : int array;
   mutable rsite_type : int array;
   mutable ring : event Ring.t;
+  mutable sample_ring : sample Ring.t;
+  mutable sample_metrics : string list;
+  mutable sample_every : int;
+  (* Samples dropped before they reached this registry (folded in by
+     [absorb] from upstream reports); the ring tracks its own drops. *)
+  mutable sample_dropped_extra : int;
   mutable tags : (string * string) list;
 }
 
@@ -199,6 +215,10 @@ let create ?(enabled = true) ?(ring_capacity = 0) () =
     rsite_hit = [||];
     rsite_type = [||];
     ring = Ring.create ~capacity:ring_capacity;
+    sample_ring = Ring.create ~capacity:0;
+    sample_metrics = [];
+    sample_every = 0;
+    sample_dropped_extra = 0;
     tags = [];
   }
 
@@ -278,9 +298,27 @@ let record_event t ev = if t.on then Ring.push t.ring ev
 let events t = Ring.to_list t.ring
 let events_dropped t = Ring.dropped t.ring
 
+(* --- time-series samples (v5) ------------------------------------------------ *)
+
+let set_sample_capacity t capacity = t.sample_ring <- Ring.create ~capacity
+
+let set_sample_meta t ~every ~metrics =
+  t.sample_every <- every;
+  t.sample_metrics <- metrics
+
+let record_sample t s =
+  if t.on then begin
+    Ring.push t.sample_ring s;
+    let i = counter_index Samples_taken in
+    t.scalars.(i) <- t.scalars.(i) + 1
+  end
+
+let samples t = Ring.to_list t.sample_ring
+let samples_dropped t = Ring.dropped t.sample_ring + t.sample_dropped_extra
+
 (* --- reports ----------------------------------------------------------------- *)
 
-let schema_version = "dbp-telemetry/4"
+let schema_version = "dbp-telemetry/5"
 
 type site_report = {
   sr_site : int;
@@ -300,6 +338,10 @@ type report = {
   r_read_sites : site_report list;
   r_events : event list;
   r_events_dropped : int;
+  r_sample_every : int;
+  r_sample_metrics : string list;
+  r_samples : sample list;
+  r_samples_dropped : int;
 }
 
 let kind_name k =
@@ -326,26 +368,30 @@ let by_type values tags =
 let count_kind t k =
   sum_where (fun x -> x = k) (Array.map (fun _ -> 1) t.site_kind) t.site_kind
 
+(* Scalar cells plus the components derived from the per-site arrays;
+   computed at report/sample time rather than on the bump paths. *)
+let derived t c =
+  match c with
+  | Check_execs -> sum t.site_exec
+  | Read_check_execs -> sum t.rsite_exec
+  | Sym_eliminated_execs ->
+    sum_where (fun k -> k = site_kind_sym) t.site_exec t.site_kind
+  | Loop_eliminated_execs ->
+    sum_where (fun k -> k = site_kind_loop) t.site_exec t.site_kind
+  | Patched_check_execs -> sum t.site_patched
+  | Sites_total -> Array.length t.site_exec
+  | Sites_checked -> count_kind t site_kind_checked
+  | Sites_sym_eliminated -> count_kind t site_kind_sym
+  | Sites_loop_eliminated -> count_kind t site_kind_loop
+  | _ -> 0
+
+let current t c = get t c + derived t c
+
+let typed_total t c = sum t.typed.(typed_index c)
+
 let report t =
-  (* Scalar cells plus the components derived from the per-site arrays;
-     done here once rather than on the bump paths. *)
-  let derived c =
-    match c with
-    | Check_execs -> sum t.site_exec
-    | Read_check_execs -> sum t.rsite_exec
-    | Sym_eliminated_execs ->
-      sum_where (fun k -> k = site_kind_sym) t.site_exec t.site_kind
-    | Loop_eliminated_execs ->
-      sum_where (fun k -> k = site_kind_loop) t.site_exec t.site_kind
-    | Patched_check_execs -> sum t.site_patched
-    | Sites_total -> Array.length t.site_exec
-    | Sites_checked -> count_kind t site_kind_checked
-    | Sites_sym_eliminated -> count_kind t site_kind_sym
-    | Sites_loop_eliminated -> count_kind t site_kind_loop
-    | _ -> 0
-  in
   let counters =
-    List.map (fun c -> (counter_name c, get t c + derived c)) all_counters
+    List.map (fun c -> (counter_name c, current t c)) all_counters
   in
   let derived_typed c =
     match c with
@@ -393,6 +439,10 @@ let report t =
     r_read_sites = List.init (Array.length t.rsite_exec) rsite;
     r_events = events t;
     r_events_dropped = events_dropped t;
+    r_sample_every = t.sample_every;
+    r_sample_metrics = t.sample_metrics;
+    r_samples = samples t;
+    r_samples_dropped = samples_dropped t;
   }
 
 (* Merge association lists by key, preserving first-seen key order (so
@@ -425,6 +475,33 @@ let merge reports =
           List.for_all (fun r -> List.assoc_opt k r.r_tags = Some v) rest)
         first.r_tags
   in
+  (* Samples survive a merge as the sorted concatenation: sorting by
+     (insn, values) gives a canonical multiset order, so the merged
+     ring does not depend on which domain produced which sample. *)
+  let samples =
+    List.concat_map (fun r -> r.r_samples) reports
+    |> List.sort (fun a b ->
+           match compare a.s_insn b.s_insn with
+           | 0 -> compare a.s_values b.s_values
+           | c -> c)
+  in
+  let sample_metrics =
+    List.concat_map (fun r -> r.r_sample_metrics) reports
+    |> List.fold_left
+         (fun acc m -> if List.mem m acc then acc else m :: acc)
+         []
+    |> List.rev
+  in
+  let sample_every =
+    let everies =
+      List.filter_map
+        (fun r -> if r.r_sample_every > 0 then Some r.r_sample_every else None)
+        reports
+    in
+    match everies with
+    | [] -> 0
+    | e :: rest -> if List.for_all (fun x -> x = e) rest then e else 0
+  in
   {
     r_schema = schema_version;
     r_tags = tags;
@@ -437,6 +514,11 @@ let merge reports =
       List.fold_left
         (fun a r -> a + r.r_events_dropped + List.length r.r_events)
         0 reports;
+    r_sample_every = sample_every;
+    r_sample_metrics = sample_metrics;
+    r_samples = samples;
+    r_samples_dropped =
+      List.fold_left (fun a r -> a + r.r_samples_dropped) 0 reports;
   }
 
 let absorb t r =
@@ -464,4 +546,19 @@ let absorb t r =
             | None -> ())
           cells
       | None -> ())
-    r.r_typed
+    r.r_typed;
+  (* Sample rings fold like the counters: every retained sample is
+     pushed into this registry's ring (its capacity decides further
+     drops), upstream drop counts accumulate, and sampler metadata is
+     kept when the inputs agree. *)
+  List.iter (fun s -> Ring.push t.sample_ring s) r.r_samples;
+  t.sample_dropped_extra <- t.sample_dropped_extra + r.r_samples_dropped;
+  if t.sample_metrics = [] then t.sample_metrics <- r.r_sample_metrics
+  else if r.r_sample_metrics <> [] && r.r_sample_metrics <> t.sample_metrics
+  then
+    t.sample_metrics <-
+      t.sample_metrics
+      @ List.filter (fun m -> not (List.mem m t.sample_metrics)) r.r_sample_metrics;
+  if t.sample_every = 0 then t.sample_every <- r.r_sample_every
+  else if r.r_sample_every > 0 && r.r_sample_every <> t.sample_every then
+    t.sample_every <- 0

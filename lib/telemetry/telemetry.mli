@@ -56,6 +56,10 @@ type counter =
   | Replayed_instrs         (** instructions re-executed by travels/queries *)
   | Profiled_instrs         (** instructions seen by the hot-path profiler (v4) *)
   | Prof_transfers          (** profiler call/return transfer events *)
+  | Store_execs             (** store instructions executed (v5 gauge, set at
+                                report time from the interpreter's stats; the
+                                heatmap conservation denominator) *)
+  | Samples_taken           (** time-series samples recorded (v5) *)
 
 val all_counters : counter list
 (** Canonical order used by every report and export format. *)
@@ -128,11 +132,19 @@ val get : t -> counter -> int
 (** The raw scalar cell; derived components (per-site sums) are folded
     in by {!report}, not here. *)
 
+val current : t -> counter -> int
+(** Live value as {!report} would publish it: the scalar cell plus the
+    derived per-site components.  This is what the time-series sampler
+    snapshots mid-run. *)
+
 val incr_typed : t -> typed -> int -> unit
 (** [incr_typed t c wt] bumps write-type [wt]'s slot of [c]. *)
 
 val get_typed : t -> typed -> int array
 (** Copy of the raw 4-wide array. *)
+
+val typed_total : t -> typed -> int
+(** Live sum over the 4 write-type slots (raw cells only). *)
 
 (** {2 Per-site arrays (sized at instrument time)} *)
 
@@ -177,14 +189,45 @@ val record_event : t -> event -> unit
 val events : t -> event list
 val events_dropped : t -> int
 
+(** {2 Time-series samples (v5)}
+
+    A sample is one snapshot of a fixed set of counter values, taken
+    every [sample_every] executed instructions by the dispatch-loop
+    sampler.  Samples live in their own preallocated ring (capacity 0 =
+    sampling off, pushes only counted), and survive {!merge} as a
+    sorted concatenation — the canonical multiset order that makes
+    cross-domain merges deterministic. *)
+
+type sample = {
+  s_insn : int;                   (** instruction count at the snapshot *)
+  s_values : (string * int) list; (** metric name → live counter value *)
+}
+
+val set_sample_capacity : t -> int -> unit
+(** Replace the sample ring with a fresh one of the given capacity. *)
+
+val set_sample_meta : t -> every:int -> metrics:string list -> unit
+(** Record the sampling interval and metric-name set published in
+    reports ([every = 0] means unset/mixed). *)
+
+val record_sample : t -> sample -> unit
+(** Push a sample (and bump {!Samples_taken}); no-op when disabled. *)
+
+val samples : t -> sample list
+val samples_dropped : t -> int
+
 (** {1 Reports} *)
 
 val schema_version : string
-(** ["dbp-telemetry/3"] — bumped on any layout change (v2 added the
+(** ["dbp-telemetry/5"] — bumped on any layout change (v2 added the
     per-site [patched] field and the [patched_check_execs] counter; v3
     the checkpoint/replay counters [checkpoints_taken],
     [checkpoint_pages_copied]/[_shared], [checkpoint_bytes],
-    [checkpoint_evictions], [restores] and [replayed_instrs]). *)
+    [checkpoint_evictions], [restores] and [replayed_instrs]; v4 the
+    profiler counters [profiled_instrs]/[prof_transfers]; v5 the
+    time-series sample ring [samples]/[sample_every]/[sample_metrics]/
+    [samples_dropped] and the [store_execs]/[samples_taken]
+    counters). *)
 
 type site_report = {
   sr_site : int;
@@ -204,6 +247,10 @@ type report = {
   r_read_sites : site_report list;
   r_events : event list;
   r_events_dropped : int;
+  r_sample_every : int;           (** 0 when sampling was off or mixed *)
+  r_sample_metrics : string list; (** metric-name order within samples *)
+  r_samples : sample list;
+  r_samples_dropped : int;
 }
 
 val report : t -> report
@@ -217,9 +264,15 @@ val merge : report list -> report
     canonical); tags keep only the key/value pairs common to all
     inputs; per-site detail and events are dropped (their totals
     survive in the counters); [r_events_dropped] adds every input's
-    retained and dropped events.  [merge []] is an empty report. *)
+    retained and dropped events.  Samples are concatenated then sorted
+    by [(s_insn, s_values)] (the canonical multiset order), metric
+    names merge in first-seen order, [r_sample_every] is kept only when
+    every sampling input agrees, and drop counts sum.  [merge []] is an
+    empty report. *)
 
 val absorb : t -> report -> unit
 (** Fold a report's counters into this registry's scalar cells (the
-    per-domain sink used by the benchmark pool).  Unknown counter names
-    are ignored.  Ignores [enabled]. *)
+    per-domain sink used by the benchmark pool), push its retained
+    samples into this registry's sample ring, and accumulate its sample
+    drop count.  Unknown counter names are ignored.  Ignores
+    [enabled]. *)
