@@ -4,7 +4,7 @@
 
      dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
                                   breakeven|readwrite|ablations|smoke|
-                                  telemetry|replay|profile|timeseries|micro|all]
+                                  telemetry|replay|profile|timeseries|verify|micro|all]
                                  [-j N] [--json FILE] [--chrome-trace FILE]
                                  [--span-set]
 
@@ -26,7 +26,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|profile|timeseries|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|profile|timeseries|verify|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
   exit 2
 
 let json_escape s =
@@ -125,6 +125,7 @@ let () =
   | "replay" -> Tables.replay ()
   | "profile" -> Tables.profile ()
   | "timeseries" -> Tables.timeseries_sampler ()
+  | "verify" -> Tables.verify ()
   | "micro" -> Micro.run ()
   | "all" ->
     Tables.table1 ();
@@ -139,6 +140,7 @@ let () =
     Tables.replay ();
     Tables.profile ();
     Tables.timeseries_sampler ();
+    Tables.verify ();
     Micro.run ()
   | _ -> usage ());
   (* The merged telemetry summary is a sum over per-domain sinks —

@@ -991,3 +991,117 @@ let timeseries_sampler () =
           writes checks hits silent
           (if conserved then "ok" else "VIOLATED"))
     rows
+
+(* --- Plan verification: translation-validation gate (BENCH_verify.json) ---------- *)
+
+(* Two tables, both pure analysis (no simulation).  First, every
+   workload's O_full plan is re-proved by the independent checker: one
+   row per workload, and the gate line must read [refuted=0 unknown=0]
+   on all ten (CI greps for exactly that).  Second, the mutation-kill
+   matrix: every operator of {!Verify_mutate.all} is applied to the
+   three workloads that jointly exercise them all, and each applied
+   mutant must be refuted — a surviving mutant names a missing proof
+   obligation.  Everything printed is deterministic, so the
+   [verify-smoke] alias diffs -j 1 against -j 2 byte-for-byte. *)
+let verify () =
+  let rows =
+    Pool.map
+      (fun (w : Workloads.Workload.t) ->
+        let options =
+          Runner.options_for w ~opt:Instrument.O_full
+            Strategy.Bitmap_inline_registers
+        in
+        let session = Session.create ~options w.Workloads.Workload.source in
+        let rep =
+          Verify.run
+            ~audit:(Audit.report session.Session.audit)
+            ~tags:[ ("workload", w.name) ]
+            session.Session.plan
+        in
+        (w, rep))
+      workloads
+  in
+  Printf.printf "\n== Plan verification (O_full, all obligations) ==\n";
+  Printf.printf "%-18s%14s%10s%10s%10s\n" "Programs" "Obligations" "Proved"
+    "Refuted" "Unknown";
+  List.iter
+    (fun ((w : Workloads.Workload.t), (rep : Verify.report)) ->
+      Printf.printf "%-18s%14d%10d%10d%10d\n" (lang_tag w)
+        (List.length rep.Verify.v_obligations)
+        rep.Verify.v_proved rep.Verify.v_refuted rep.Verify.v_unknown)
+    rows;
+  List.iter
+    (fun ((w : Workloads.Workload.t), rep) ->
+      Printf.printf "%s: %s\n" w.Workloads.Workload.name
+        (Verify.summary_line rep))
+    rows;
+  (* Mutation kills.  The three workloads jointly make every operator
+     applicable: matrix300 (range checks + sym matches), espresso
+     (invariant checks, several plans), li (sym-only, no loop plans). *)
+  let mutation_names = [ "030.matrix300"; "008.espresso"; "022.li" ] in
+  let sessions =
+    Pool.map
+      (fun name ->
+        match Workloads.Spec.find name with
+        | None -> failwith ("verify: unknown workload " ^ name)
+        | Some w ->
+          let options =
+            Runner.options_for w ~opt:Instrument.O_full
+              Strategy.Bitmap_inline_registers
+          in
+          (name, Session.create ~options w.Workloads.Workload.source))
+      mutation_names
+  in
+  let cells =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun (name, session) -> (m, name, session))
+          sessions)
+      Verify_mutate.all
+  in
+  let kills =
+    Pool.map
+      (fun ((m : Verify_mutate.mutant), name, (session : Session.t)) ->
+        let audit = Some (Audit.report session.Session.audit) in
+        match m.Verify_mutate.m_apply session.Session.plan audit with
+        | None -> (m.Verify_mutate.m_name, name, `NA)
+        | Some (inst', audit') ->
+          let rep = Verify.run ?audit:audit' inst' in
+          ( m.Verify_mutate.m_name,
+            name,
+            if rep.Verify.v_refuted > 0 then `Killed else `Survived ))
+      cells
+  in
+  Printf.printf "\n== Mutation kills (operator x workload) ==\n";
+  Printf.printf "%-26s%16s%16s%16s\n" "Mutant" "030.matrix300" "008.espresso"
+    "022.li";
+  let status m name =
+    match
+      List.find_map
+        (fun (m', n, s) ->
+          if String.equal m m' && String.equal n name then Some s else None)
+        kills
+    with
+    | Some `Killed -> "killed"
+    | Some `Survived -> "SURVIVED"
+    | Some `NA | None -> "-"
+  in
+  List.iter
+    (fun (mut : Verify_mutate.mutant) ->
+      let m = mut.Verify_mutate.m_name in
+      Printf.printf "%-26s%16s%16s%16s\n" m
+        (status m "030.matrix300")
+        (status m "008.espresso")
+        (status m "022.li"))
+    Verify_mutate.all;
+  let applied =
+    List.filter (fun (_, _, s) -> s <> `NA) kills
+  in
+  let killed =
+    List.filter (fun (_, _, s) -> s = `Killed) applied
+  in
+  Printf.printf "mutation kill rate: %d/%d (%d%%)\n" (List.length killed)
+    (List.length applied)
+    (if applied = [] then 0
+     else 100 * List.length killed / List.length applied)

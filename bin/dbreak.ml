@@ -67,7 +67,8 @@ let fail msg =
   1
 
 let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_asm
-    stats metrics trace fuel audit_file explain chrome_trace checkpoint_every
+    stats metrics trace fuel audit_file explain verify_target chrome_trace
+    checkpoint_every
     last_write travel profile_file flamegraph_file timeseries_file heatmap_file
     sample_every serve_port serve_linger =
   try
@@ -304,6 +305,41 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
         in
         export heatmap_file (fun () -> render hm)
       | _ -> ());
+      (* Translation validation of the plan itself: re-prove every
+         check elimination from the pipeline outputs, independent of
+         the analyses that decided it.  Runs after the exports so a
+         refuted plan still leaves its artifacts behind for debugging;
+         any Refuted or Unknown obligation fails the run (exit 1). *)
+      let verify_rep = ref None in
+      let verify_failed = ref None in
+      (match verify_target with
+      | None -> ()
+      | Some vfile ->
+        let rep =
+          Verify.run
+            ~audit:(Audit.report audit)
+            ~tags:[ ("source", Filename.basename source_file) ]
+            session.Session.plan
+        in
+        verify_rep := Some rep;
+        Printf.printf "--- verify ---\n%s\n" (Verify.summary_line rep);
+        List.iter
+          (fun (o : Verify.obligation) ->
+            match o.Verify.o_verdict with
+            | Verify.Proved -> ()
+            | Verify.Refuted _ | Verify.Unknown _ ->
+              Format.printf "%a@." Verify.pp_obligation o)
+          rep.Verify.v_obligations;
+        if vfile <> "" then
+          export (Some vfile) (fun () -> Verify.to_json_string ~indent:1 rep);
+        if not (Verify.ok rep) then
+          verify_failed :=
+            Some
+              (fail
+                 (Printf.sprintf
+                    "plan verification failed: %d refuted, %d undecided \
+                     obligation(s)"
+                    rep.Verify.v_refuted rep.Verify.v_unknown)));
       (match server with
       | None -> ()
       | Some srv ->
@@ -315,20 +351,31 @@ let run_cmd source_file watches strategy opt check_aliases monitor_reads dump_as
       match !replay_failed with
       | Some code -> code
       | None -> (
+      match !verify_failed with
+      | Some code -> code
+      | None -> (
       match explain with
       | None -> 0
       | Some target -> (
         let rep = Audit.report audit in
-        match Audit.explain rep target with
-        | Some text ->
-          print_string text;
-          0
-        | None ->
+        (* Join the verifier's view when --verify ran: the same site's
+           proof obligations, right after its journal provenance. *)
+        let vtext =
+          Option.bind !verify_rep (fun r -> Verify.explain r target)
+        in
+        match (Audit.explain rep target, vtext) with
+        | None, None ->
           fail
             (Printf.sprintf
                "no write site matches %S (expected a site address or a \
                 sym-matched pseudo; try --audit to list them)"
-               target)))
+               target)
+        | atext, vtext ->
+          Option.iter print_string atext;
+          Option.iter
+            (fun t -> Printf.printf "--- verify obligations ---\n%s\n" t)
+            vtext;
+          0)))
     end
   with
   | Sys_error m -> fail m
@@ -412,6 +459,19 @@ let explain_arg =
              expressions and lattice derivation, and any runtime patch \
              events.  $(docv) is a site address (0x-hex or decimal) or a \
              sym-matched pseudo name such as 'g' or 'main.i'.")
+
+let verify_arg =
+  Arg.(value & opt ~vopt:(Some "") (some string) None & info [ "verify" ]
+       ~docv:"FILE"
+       ~doc:"Translation-validate the instrumentation plan: re-prove \
+             every eliminated check (sec 4.2 symbol-table re-match, sec \
+             4.3 invariant/range interval arguments, pre-header \
+             placement, dominance, alias obligations, patch-stub and \
+             frame integrity) from the pipeline outputs alone, \
+             cross-checked against the audit journal.  Prints the \
+             obligation summary; with $(docv), also writes the \
+             dbp-verify/1 JSON report there.  Any refuted or undecided \
+             obligation fails the run (exit 1).")
 
 let chrome_trace_arg =
   Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE"
@@ -504,11 +564,11 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "dbreak" ~version:"1.2" ~doc ~man)
+    (Cmd.info "dbreak" ~version:"1.3" ~doc ~man)
     Term.(
       const run_cmd $ source_arg $ watch_arg $ strategy_arg $ opt_arg
       $ aliases_arg $ reads_arg $ dump_asm_arg $ stats_arg $ metrics_arg
-      $ trace_arg $ fuel_arg $ audit_file_arg $ explain_arg
+      $ trace_arg $ fuel_arg $ audit_file_arg $ explain_arg $ verify_arg
       $ chrome_trace_arg $ checkpoint_every_arg $ last_write_arg
       $ travel_arg $ profile_arg $ flamegraph_arg $ timeseries_arg
       $ heatmap_arg $ sample_every_arg $ serve_metrics_arg

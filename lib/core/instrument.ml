@@ -72,6 +72,10 @@ type t = {
   loop_stats : Loopopt.stats;
   control_checks : bool;
   functions : string list;
+  symtab : Symtab.t;
+  fn_inputs : Loopopt.fn_input list;
+      (* per-function analysis inputs (post-symopt TAC + raw slice),
+         retained so lib/verify can re-derive the plan independently *)
 }
 
 let site_label origin = Printf.sprintf "__dbp_site_%d" origin
@@ -408,6 +412,19 @@ let run ?audit ?trace (options : options) (out : Minic.Codegen.output) : t =
         List.fold_left (fun a (_, r) -> a + r.Symopt.matched_loads) 0 sym_results;
     }
   in
+  let fn_inputs =
+    if options.opt = O0 then
+      List.map
+        (fun ((s : Ir.Lift.slice), tac) ->
+          { Loopopt.fname = s.fname; tac; items = s.items; extra_call_defs = [] })
+        lifted
+    else
+      List.map
+        (fun ((s : Ir.Lift.slice), (r : Symopt.result)) ->
+          { Loopopt.fname = s.fname; tac = r.Symopt.tac; items = s.items;
+            extra_call_defs })
+        sym_results
+  in
   {
     program = { out.program with text };
     options;
@@ -419,4 +436,6 @@ let run ?audit ?trace (options : options) (out : Minic.Codegen.output) : t =
     loop_stats;
     control_checks;
     functions = out.functions;
+    symtab = out.symtab;
+    fn_inputs;
   }

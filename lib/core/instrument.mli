@@ -79,6 +79,14 @@ type t = {
   loop_stats : Loopopt.stats;
   control_checks : bool;
   functions : string list;
+  symtab : Sparc.Symtab.t;
+      (** the compiler's symbol table, pre-assembly — what §4.2
+          matching consumed *)
+  fn_inputs : Loopopt.fn_input list;
+      (** per instrumented function: the post-symopt TAC and the raw
+          item slice the analyses consumed, retained so an independent
+          checker ({!Verify}) can re-derive every elimination from the
+          plan alone *)
 }
 
 val run : ?audit:Audit.t -> ?trace:Trace.t -> options -> Minic.Codegen.output -> t

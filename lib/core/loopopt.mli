@@ -29,6 +29,11 @@ val pp_check : Format.formatter -> check -> unit
 (** Canonical debug rendering (via {!Ir.Bounds.pp_bexpr} /
     {!Ir.Bounds.pp_level}), shared with the audit journal. *)
 
+val pseudos_of_bexpr : Ir.Bounds.bexpr -> string list
+(** The symbol-table pseudo homes a bound expression reads — the
+    memory locations whose mutation could invalidate a pre-header
+    check, i.e. the alias-pseudo obligations of §4.5. *)
+
 type loop_plan = {
   loop_id : int;
   fname : string;

@@ -24,16 +24,80 @@ let rec bexpr_depth = function
 
 let max_bexpr_depth = 16
 
-let rec bexpr_equal a b =
+let rec struct_equal a b =
   match a, b with
   | Bconst x, Bconst y -> x = y
   | Blab (l1, o1), Blab (l2, o2) -> String.equal l1 l2 && o1 = o2
   | Bvar v1, Bvar v2 -> Ssa.var_equal v1 v2
   | Badd (x1, y1), Badd (x2, y2) | Bsub (x1, y1), Bsub (x2, y2) ->
-    bexpr_equal x1 x2 && bexpr_equal y1 y2
+    struct_equal x1 x2 && struct_equal y1 y2
   | Bmul (x1, c1), Bmul (x2, c2) | Bshl (x1, c1), Bshl (x2, c2) ->
-    bexpr_equal x1 x2 && c1 = c2
+    struct_equal x1 x2 && c1 = c2
   | (Bconst _ | Blab _ | Bvar _ | Badd _ | Bsub _ | Bmul _ | Bshl _), _ -> false
+
+(* --- canonical normal form ---------------------------------------------------
+
+   Every [bexpr] constructor is linear in its sub-expression, so any
+   bound expression is a linear combination  Σ cᵢ·atomᵢ + k  of atoms
+   (SSA variables and label addresses) under the machine's wrapping
+   32-bit arithmetic.  [normalize] computes that combination exactly —
+   constant folding, commutativity/associativity of [+], distribution
+   of [*c] and [<<c] — and re-renders it in a fixed shape, so two
+   expressions are semantically equal (as Word-valued functions of
+   their atoms) iff their normal forms are structurally equal. *)
+
+type atom = Alab of string | Avar of Ssa.var
+
+let atom_compare a b =
+  match a, b with
+  | Alab l1, Alab l2 -> String.compare l1 l2
+  | Alab _, Avar _ -> -1
+  | Avar _, Alab _ -> 1
+  | Avar v1, Avar v2 -> (
+    let tie () = compare v1.Ssa.version v2.Ssa.version in
+    match v1.Ssa.name, v2.Ssa.name with
+    | Tac.Machine r1, Tac.Machine r2 -> (
+      match compare (Reg.index r1) (Reg.index r2) with 0 -> tie () | c -> c)
+    | Tac.Machine _, Tac.Pseudo _ -> -1
+    | Tac.Pseudo _, Tac.Machine _ -> 1
+    | Tac.Pseudo s1, Tac.Pseudo s2 -> (
+      match String.compare s1 s2 with 0 -> tie () | c -> c))
+
+(* Accumulate [coeff * e] into (terms, const).  A label's offset is a
+   constant; [x << c] is [x * 2^c] under wrapping arithmetic. *)
+let rec linearize coeff e (terms, const) =
+  match e with
+  | Bconst c -> (terms, Word.add const (Word.mul coeff c))
+  | Blab (l, o) -> ((Alab l, coeff) :: terms, Word.add const (Word.mul coeff o))
+  | Bvar v -> ((Avar v, coeff) :: terms, const)
+  | Badd (a, b) -> linearize coeff b (linearize coeff a (terms, const))
+  | Bsub (a, b) -> linearize (Word.sub 0 coeff) b (linearize coeff a (terms, const))
+  | Bmul (a, c) -> linearize (Word.mul coeff c) a (terms, const)
+  | Bshl (a, c) -> linearize (Word.mul coeff (Word.sll 1 c)) a (terms, const)
+
+let normalize e =
+  let terms, const = linearize 1 e ([], 0) in
+  let merged =
+    List.sort (fun (a, _) (b, _) -> atom_compare a b) terms
+    |> List.fold_left
+         (fun acc (a, c) ->
+           match acc with
+           | (a', c') :: rest when atom_compare a a' = 0 -> (a', Word.add c' c) :: rest
+           | _ -> (a, c) :: acc)
+         []
+    |> List.rev
+    |> List.filter (fun (_, c) -> c <> 0)
+  in
+  let atom_expr = function Alab l -> Blab (l, 0) | Avar v -> Bvar v in
+  let term (a, c) = if c = 1 then atom_expr a else Bmul (atom_expr a, c) in
+  match merged with
+  | [] -> Bconst const
+  | t0 :: rest ->
+    let sum = List.fold_left (fun acc t -> Badd (acc, term t)) (term t0) rest in
+    if const = 0 then sum else Badd (sum, Bconst const)
+
+let bexpr_equal a b =
+  struct_equal a b || struct_equal (normalize a) (normalize b)
 
 let rec bexpr_vars = function
   | Bconst _ | Blab _ -> []

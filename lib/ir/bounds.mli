@@ -29,7 +29,19 @@ type bexpr =
   | Bmul of bexpr * int
   | Bshl of bexpr * int
 
+val normalize : bexpr -> bexpr
+(** Canonical normal form.  Every constructor is linear, so a bound
+    expression is a linear combination of atoms (SSA variables and
+    label addresses) plus a constant, under wrapping 32-bit
+    arithmetic; [normalize] folds constants, distributes [*c]/[<<c],
+    and orders commutative sums deterministically.  Idempotent; two
+    expressions denote the same Word-valued function of their atoms
+    iff their normal forms are structurally equal. *)
+
 val bexpr_equal : bexpr -> bexpr -> bool
+(** Structural fast path, falling back to comparing {!normalize}d
+    forms — i.e. semantic equality of the linear combinations. *)
+
 val bexpr_vars : bexpr -> Ssa.var list
 
 type bound = Unbounded | Bound of { level : level; expr : bexpr }

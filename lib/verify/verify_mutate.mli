@@ -1,0 +1,20 @@
+(** Mutation operators for the verifier's kill gate.
+
+    Each mutant is one small, plausible corruption of a finished
+    instrumentation plan, its emitted program, or its audit journal —
+    the shapes of wrong answer a buggy analysis could produce.  The
+    mutation-testing gate requires {!Verify.run} to refute every
+    applicable mutant on the benchmark workloads; a surviving mutant
+    means a proof obligation is missing. *)
+
+type mutant = {
+  m_name : string;
+  m_apply :
+    Dbp.Instrument.t ->
+    Audit.report option ->
+    (Dbp.Instrument.t * Audit.report option) option;
+      (** [None] when the mutation does not apply to this plan (e.g.
+          no range checks to corrupt). *)
+}
+
+val all : mutant list

@@ -424,6 +424,127 @@ let test_non_uniform_not_monotonic () =
   (* i is monotonic; k must not be reported as a group. *)
   check_int "only the loop counter" 1 (List.length groups)
 
+(* --- bound-expression normal form ----------------------------------------- *)
+
+(* [Bounds.normalize] claims a canonical linear-combination form under
+   the machine's wrapping 32-bit arithmetic; these properties pin the
+   two halves of that claim on random expressions: the form is a fixed
+   point, and it preserves (and [bexpr_equal] respects) the
+   expression's value as a Word-valued function of its atoms. *)
+
+let bexpr_atoms = [ "a"; "b"; "c" ]
+
+let bexpr_var name version =
+  Ir.Bounds.Bvar { Ir.Ssa.name = Ir.Tac.Pseudo name; version }
+
+let bexpr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun c -> Ir.Bounds.Bconst c) (int_range (-2048) 2048);
+        map2
+          (fun l o -> Ir.Bounds.Blab (l, o))
+          (oneofl bexpr_atoms) (int_range (-64) 64);
+        map2 bexpr_var (oneofl bexpr_atoms) (int_range 0 2);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (1, leaf);
+               ( 2,
+                 map2
+                   (fun a b -> Ir.Bounds.Badd (a, b))
+                   (self (n / 2)) (self (n / 2)) );
+               ( 2,
+                 map2
+                   (fun a b -> Ir.Bounds.Bsub (a, b))
+                   (self (n / 2)) (self (n / 2)) );
+               ( 1,
+                 map2
+                   (fun a c -> Ir.Bounds.Bmul (a, c))
+                   (self (n / 2)) (int_range (-16) 16) );
+               ( 1,
+                 map2
+                   (fun a c -> Ir.Bounds.Bshl (a, c))
+                   (self (n / 2)) (int_range 0 8) );
+             ])
+
+let bexpr_arb =
+  QCheck.make ~print:(Fmt.str "%a" Ir.Bounds.pp_bexpr) bexpr_gen
+
+(* An environment assigns one Word to each atom: label [l] evaluates
+   to env(l), and every version of variable [v] to env(v) — the same
+   value space normalize's coefficient arithmetic lives in. *)
+let bexpr_eval env e =
+  let module W = Sparc.Word in
+  let atom name = List.assoc name env in
+  let rec go = function
+    | Ir.Bounds.Bconst c -> W.norm c
+    | Ir.Bounds.Blab (l, o) -> W.add (atom l) o
+    | Ir.Bounds.Bvar v -> (
+      match v.Ir.Ssa.name with
+      | Ir.Tac.Pseudo n -> atom n
+      | Ir.Tac.Machine _ -> 0)
+    | Ir.Bounds.Badd (a, b) -> W.add (go a) (go b)
+    | Ir.Bounds.Bsub (a, b) -> W.sub (go a) (go b)
+    | Ir.Bounds.Bmul (a, c) -> W.mul (go a) c
+    | Ir.Bounds.Bshl (a, c) -> W.sll (go a) c
+  in
+  go e
+
+let env_gen =
+  QCheck.Gen.(
+    map
+      (fun vals -> List.combine bexpr_atoms vals)
+      (flatten_l
+         (List.map (fun _ -> int_range (-1073741824) 1073741823) bexpr_atoms)))
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~name:"normalize is idempotent" ~count:500 bexpr_arb
+    (fun e ->
+      let n = Ir.Bounds.normalize e in
+      n = Ir.Bounds.normalize n)
+
+let prop_normalize_preserves_value =
+  QCheck.Test.make ~name:"normalize preserves evaluation" ~count:500
+    (QCheck.make
+       QCheck.Gen.(pair bexpr_gen env_gen)
+       ~print:(fun (e, _) -> Fmt.str "%a" Ir.Bounds.pp_bexpr e))
+    (fun (e, env) ->
+      bexpr_eval env e = bexpr_eval env (Ir.Bounds.normalize e))
+
+(* bexpr_equal must identify rearrangements (sound completeness on the
+   linear fragment) and must never identify expressions an evaluation
+   can tell apart. *)
+let prop_bexpr_equal_commutes =
+  QCheck.Test.make ~name:"bexpr_equal identifies rearrangements" ~count:500
+    (QCheck.make QCheck.Gen.(pair bexpr_gen bexpr_gen))
+    (fun (a, b) ->
+      Ir.Bounds.bexpr_equal
+        (Ir.Bounds.Badd (a, b))
+        (Ir.Bounds.Bsub (Ir.Bounds.Badd (b, Ir.Bounds.Badd (a, a)), a)))
+
+let prop_bexpr_equal_sound =
+  QCheck.Test.make ~name:"bexpr_equal agrees with evaluation" ~count:500
+    (QCheck.make QCheck.Gen.(triple bexpr_gen bexpr_gen env_gen))
+    (fun (a, b, env) ->
+      (not (Ir.Bounds.bexpr_equal a b))
+      || bexpr_eval env a = bexpr_eval env b)
+
+let normalize_qchecks =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_normalize_idempotent;
+      prop_normalize_preserves_value;
+      prop_bexpr_equal_commutes;
+      prop_bexpr_equal_sound;
+    ]
+
 let suites =
   [
     ( "ir.lift",
@@ -464,4 +585,5 @@ let suites =
         Alcotest.test_case "non-uniform not monotonic" `Quick
           test_non_uniform_not_monotonic;
       ] );
+    ("ir.bounds.normalize", normalize_qchecks);
   ]
