@@ -4,7 +4,8 @@
 
      dune exec bench/main.exe -- [table1|table2|figure3|nops|strategies|
                                   breakeven|readwrite|ablations|smoke|
-                                  telemetry|replay|profile|timeseries|verify|micro|all]
+                                  telemetry|replay|profile|timeseries|verify|
+                                  service|micro|all]
                                  [-j N] [--json FILE] [--chrome-trace FILE]
                                  [--span-set]
 
@@ -13,7 +14,7 @@
    tables printed on stdout are byte-identical for every [-j]; timing
    (wall seconds, aggregate simulated MIPS) goes to stderr, and
    [--json] writes a per-cell report including simulated-MIPS plus the
-   merged telemetry report (dbp-telemetry/5).
+   merged telemetry report (dbp-telemetry/6).
 
    Every instrumented cell's telemetry report is absorbed into its
    worker domain's sink ([Pool.telemetry_sink]); the merged summary
@@ -26,7 +27,7 @@
 
 let usage () =
   prerr_endline
-    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|profile|timeseries|verify|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
+    "usage: main.exe [table1|table2|figure3|nops|strategies|breakeven|readwrite|ablations|smoke|telemetry|replay|profile|timeseries|verify|service|micro|all] [-j N] [--json FILE] [--chrome-trace FILE] [--span-set]";
   exit 2
 
 let json_escape s =
@@ -67,6 +68,9 @@ let write_json ~experiment path =
     cells;
   p "  ],\n";
   p "  \"telemetry\": %s,\n" (Export.to_json_string (Pool.merged_report ()));
+  (* Service-daemon latency percentiles, present when the service
+     experiment ran (wall-clock, so JSON/stderr only — never stdout). *)
+  Option.iter (fun frag -> p "  \"service\": %s,\n" frag) (Service.json_fragment ());
   (* Provenance-verdict counts summed over every instrumented cell's
      audit journal (canonical order; commutative merge, so
      [-j]-independent). *)
@@ -126,6 +130,7 @@ let () =
   | "profile" -> Tables.profile ()
   | "timeseries" -> Tables.timeseries_sampler ()
   | "verify" -> Tables.verify ()
+  | "service" -> Service.run ()
   | "micro" -> Micro.run ()
   | "all" ->
     Tables.table1 ();

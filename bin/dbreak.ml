@@ -17,26 +17,13 @@
 open Cmdliner
 open Dbp
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents)
-
-(* Every export flag funnels through here: render only when the flag
-   was given, and let the shared [Sys_error] handler below turn an
-   unwritable path into the same one-line exit-1 failure for all of
-   them (the contract pinned by bin/dune's runtest rules). *)
-let export path_opt render =
-  match path_opt with
-  | None -> ()
-  | Some path -> write_file path (render ())
+(* Every export flag funnels through the shared [Exporter.export]:
+   render only when the flag was given, and let [Sys_error] escape to
+   the single handler below, which turns an unwritable path into the
+   same one-line exit-1 failure for all of them (the contract pinned by
+   bin/dune's runtest rules).  dbreakd uses the same funnel. *)
+let read_file = Exporter.read_file
+let export = Exporter.export
 
 let strategy_conv =
   let parse s =

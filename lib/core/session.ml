@@ -419,6 +419,29 @@ let run ?fuel t =
   in
   (code, Cpu.output t.cpu)
 
+(* Fuel-bounded, resumable execution — the service daemon's `run` verb.
+   Each slice advances by at most [fuel] instructions so a scheduler
+   can round-robin many sessions on one domain without letting any of
+   them starve the loop.  With a checkpoint journal armed the slices go
+   through {!Replay.record_slice}, which places checkpoints exactly
+   where a one-shot run would — so slicing is invisible to
+   {!last_write}/{!write_history}/{!time_travel} and to telemetry.
+   No ["run"] span is recorded per slice (span multisets would then
+   depend on the slice quantum); the daemon brackets its own spans. *)
+let run_slice ?fuel t =
+  match Cpu.halted t.cpu with
+  | Some code -> `Exited (code, Cpu.output t.cpu)
+  | None -> (
+    match t.replay with
+    | None -> (
+      match Cpu.run ?fuel t.cpu with
+      | code -> `Exited (code, Cpu.output t.cpu)
+      | exception Cpu.Out_of_fuel { executed } -> `Running executed)
+    | Some r -> (
+      match Replay.record_slice ?fuel r with
+      | `Exited code -> `Exited (code, Cpu.output t.cpu)
+      | `Out_of_fuel executed -> `Running executed))
+
 (* --- time travel ------------------------------------------------------ *)
 
 let replay t = t.replay

@@ -103,6 +103,16 @@ val run : ?fuel:int -> t -> int * string
     [checkpoint_every] set, execution is recorded through the replay
     engine (same result, plus a checkpoint journal). *)
 
+val run_slice : ?fuel:int -> t -> [ `Exited of int * string | `Running of int ]
+(** Fuel-bounded resumable execution — the service daemon's fairness
+    quantum.  [`Running n] means [n] instructions were executed and the
+    program has not halted (call again to resume; armed watchpoints
+    keep firing across slices).  [`Exited (code, output)] is terminal
+    and idempotent.  With [checkpoint_every] set, slices record through
+    {!Replay.record_slice}, whose checkpoint placement is identical to
+    a one-shot {!run} — slicing never changes the answers of
+    {!last_write}/{!write_history}/{!time_travel} or the telemetry. *)
+
 (** {1 Time travel}
 
     All of these raise [Invalid_argument] on a session created without

@@ -39,6 +39,11 @@ type t = {
   mutable end_insn : int;
   mutable exit_code : int option;
   mutable recorded : bool;
+  (* Incremental-recording frontier ({!record_slice}): whether the
+     initial checkpoint was taken, and the instruction count at which
+     the next interval checkpoint is due. *)
+  mutable started : bool;
+  mutable next_boundary : int;
   (* Watch state shared with the store hook installed at [create]
      (hooks are append-only, so one hook with an [armed] flag). *)
   mutable armed : bool;
@@ -78,6 +83,8 @@ let create ?telemetry ?audit ?budget_bytes ?(digests = true)
       end_insn = 0;
       exit_code = None;
       recorded = false;
+      started = false;
+      next_boundary = 0;
       armed = false;
       watch_lo = 0;
       watch_hi = 0;
@@ -146,30 +153,59 @@ let take_checkpoint t =
          (Journal.captured_bytes t.journal - b0));
   snap
 
+(* Incremental recording: each slice advances the machine by at most
+   [fuel] instructions, checkpointing at exactly the same places a
+   one-shot {!record} would — interval boundaries and the halt — so a
+   run recorded in N slices produces the same journal (and the same
+   checkpoint telemetry) as a run recorded in one.  A slice that
+   exhausts its fuel mid-interval takes no checkpoint; the next slice
+   resumes toward the same boundary.  That is what makes the daemon's
+   round-robin fairness slicing invisible to every retroactive query
+   and to the cross-shard telemetry diffs. *)
+let record_slice ?(fuel = 200_000_000) t =
+  if t.recorded then `Exited (Option.get t.exit_code)
+  else begin
+    if not t.started then begin
+      t.started <- true;
+      ignore (take_checkpoint t);
+      t.next_boundary <- Cpu.instr_count t.cpu + Journal.interval t.journal
+    end;
+    let executed = ref 0 in
+    while Cpu.halted t.cpu = None && !executed < fuel do
+      while
+        Cpu.halted t.cpu = None
+        && Cpu.instr_count t.cpu < t.next_boundary
+        && !executed < fuel
+      do
+        Cpu.step t.cpu;
+        incr executed
+      done;
+      if Cpu.halted t.cpu <> None || Cpu.instr_count t.cpu >= t.next_boundary
+      then begin
+        ignore (take_checkpoint t);
+        t.next_boundary <- Cpu.instr_count t.cpu + Journal.interval t.journal
+      end
+    done;
+    match Cpu.halted t.cpu with
+    | None -> `Out_of_fuel !executed
+    | Some code ->
+      t.end_insn <- Cpu.instr_count t.cpu;
+      t.exit_code <- Some code;
+      t.recorded <- true;
+      `Exited code
+  end
+
 let record ?(fuel = 200_000_000) t =
   if t.recorded then invalid_arg "Replay.record: run already recorded";
-  ignore (take_checkpoint t);
-  let executed = ref 0 in
-  let interval = Journal.interval t.journal in
-  while Cpu.halted t.cpu = None && !executed < fuel do
-    let boundary = Cpu.instr_count t.cpu + interval in
-    while
-      Cpu.halted t.cpu = None
-      && Cpu.instr_count t.cpu < boundary
-      && !executed < fuel
-    do
-      Cpu.step t.cpu;
-      incr executed
-    done;
-    ignore (take_checkpoint t)
-  done;
-  match Cpu.halted t.cpu with
-  | None -> raise (Cpu.Out_of_fuel { executed = !executed })
-  | Some code ->
-    t.end_insn <- Cpu.instr_count t.cpu;
-    t.exit_code <- Some code;
-    t.recorded <- true;
-    code
+  match record_slice ~fuel t with
+  | `Exited code -> code
+  | `Out_of_fuel executed ->
+    (* Parity with the pre-slice behavior: the one-shot recorder always
+       checkpointed the frontier before giving up (unless a boundary
+       checkpoint already landed on this exact instruction). *)
+    if Cpu.instr_count t.cpu + Journal.interval t.journal <> t.next_boundary
+    then ignore (take_checkpoint t);
+    raise (Cpu.Out_of_fuel { executed })
 
 (* --- travel ----------------------------------------------------------- *)
 

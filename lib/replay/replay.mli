@@ -51,6 +51,17 @@ val create :
     replay lifecycle counters/events, gated by their own flags
     (defaults: disabled instances). *)
 
+val record_slice : ?fuel:int -> t -> [ `Exited of int | `Out_of_fuel of int ]
+(** Advance the recording by at most [fuel] instructions (the service
+    daemon's fairness quantum).  Checkpoints land exactly where a
+    one-shot {!record} would put them — interval boundaries and the
+    halt — so a run recorded in N slices yields the same journal, the
+    same telemetry and the same retroactive-query answers as a run
+    recorded in one.  [`Out_of_fuel n] means [n] instructions were
+    executed and the program is still running (call again to resume);
+    [`Exited code] finalizes the recording.  Once recorded, further
+    calls return [`Exited code] without touching the machine. *)
+
 val record : ?fuel:int -> t -> int
 (** Run the program to completion, checkpointing at the interval plus
     once at start and once at halt; returns the exit code.

@@ -1,0 +1,95 @@
+(** dbreakd's engine: concurrent debug sessions multiplexed over
+    dbp-wire/1, sharded across domains by {!Sched}.
+
+    The engine separates frame {e routing} (main thread: parse, session
+    table, client-level replies under sid ["-"]) from command
+    {e execution} (the session's shard domain, in arrival order — which
+    is what makes each session's reply stream, sequence numbers and
+    telemetry independent of the shard count).  Long [run] commands are
+    executed in fuel slices and re-posted behind other sessions' work,
+    so one session cannot starve a shard.
+
+    Two front ends sit on top: the in-process {!client}/{!submit}/
+    {!output} API (tests, bench loopback driver) and the TCP listener
+    ({!listen}/{!server_poll}/{!serve_for}). *)
+
+type t
+(** The engine: scheduler, session table, daemon telemetry registry. *)
+
+val default_slice : int
+(** Fairness quantum (instructions per [run] slice): 50k. *)
+
+val create : ?shards:int -> ?slice:int -> unit -> t
+(** Spawn the shard pool.  [slice] overrides {!default_slice}. *)
+
+val shards : t -> int
+
+(** {1 In-process clients} *)
+
+type client
+(** One command source with a private reply outbox.  Replies to frames
+    that never reached a session (the [hello] greeting, parse errors,
+    unknown-session errors) arrive under the reserved sid ["-"] with a
+    per-client sequence; session replies carry the session's own
+    monotone sequence. *)
+
+val client : t -> client
+
+val submit : t -> client -> string -> unit
+(** Route one frame (a line, no terminator).  Client-level replies are
+    pushed synchronously; session commands are posted to the session's
+    shard and their replies arrive in the outbox asynchronously. *)
+
+val output : client -> string list
+(** Drain the client's outbox (encoded reply lines, in emission
+    order). *)
+
+val close_client : t -> client -> unit
+(** Close every session the client still owns (absorbing their
+    telemetry into the shard sinks), as on TCP disconnect. *)
+
+val drain : t -> unit
+(** Block until all posted commands (and re-posted run slices) have
+    executed.  After [drain], outboxes and {!merged_report} are
+    quiescent and deterministic. *)
+
+val sessions_open : t -> int
+
+val merged_report : t -> Telemetry.report
+(** Daemon registry (commands served, sessions-open gauge) + shard
+    sinks (closed sessions) + every live session's report, folded with
+    the commutative {!Telemetry.merge} — quiescent reads are
+    byte-identical across shard counts. *)
+
+val metrics_body : t -> string
+(** {!merged_report} rendered for [GET /metrics]. *)
+
+val shutdown : t -> unit
+(** Drain and join the shard domains.  Idempotent. *)
+
+(** {1 TCP front end} *)
+
+type server
+
+val listen :
+  ?host:Unix.inet_addr -> ?backlog:int -> t -> port:int -> unit -> server
+(** Bind a nonblocking listener (port 0 for ephemeral — read it back
+    with {!server_port}).  Loopback by default. *)
+
+val server_port : server -> int
+
+val server_poll : server -> unit
+(** One nonblocking pass: accept pending connections, read available
+    bytes (feeding complete frames to {!submit}), flush outboxes
+    (partial writes carry over), reap disconnected peers (closing
+    their sessions). *)
+
+val server_fds : server -> Unix.file_descr list
+(** Listener + connection fds, for an external [select] loop. *)
+
+val serve_for : server -> seconds:float -> unit
+(** Select-driven {!server_poll} loop for a bounded duration. *)
+
+val server_close : server -> unit
+(** Final poll, then close every connection (closing its sessions) and
+    the listener.  Does not {!shutdown} the engine. *)

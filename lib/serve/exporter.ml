@@ -1,0 +1,23 @@
+(* Shared CLI export-path helper.  Both front ends (dbreak and
+   dbreakd) funnel every export flag through [export]: render only
+   when the flag was given, and let [Sys_error] escape to the caller's
+   single handler, which turns an unwritable path into the same
+   one-line exit-1 failure for every flag — the contract pinned by
+   bin/dune's runtest rules. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let export path_opt render =
+  match path_opt with
+  | None -> ()
+  | Some path -> write_file path (render ())

@@ -1,0 +1,145 @@
+(* N-domain session shard pool — bench/pool.ml's per-domain
+   commutative-sink pattern promoted into a reusable scheduler.
+
+   Each shard owns one worker domain, one FIFO job queue and one
+   telemetry sink registry.  Sessions are hashed to a shard by their
+   (client-chosen) session id, and every job posted under that key runs
+   on that shard's domain, in post order — so a session's commands
+   execute sequentially with no locking around the session itself,
+   while different sessions proceed in parallel.  Fairness comes from
+   the queue discipline: a long-running command (the daemon's [run]
+   verb) executes one fuel slice and re-posts its continuation, which
+   lands *behind* any other session's queued work on the same shard —
+   round-robin, so one session cannot starve the loop.
+
+   The sinks merge exactly as the bench harness merges its per-domain
+   sinks: closed sessions' reports are absorbed into their shard's
+   sink, and {!merged_report} folds the sinks with the commutative
+   {!Telemetry.merge} — so the merged telemetry does not depend on the
+   shard count, the property the service bench diffs across [-j]. *)
+
+type shard = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable busy : bool;  (* a job is executing right now *)
+  sink : Telemetry.t;
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  shards : shard array;
+  mutable running : bool;  (* writes under every shard's [mu] *)
+  failures : int Atomic.t;
+}
+
+let shards t = Array.length t.shards
+
+let shard_of t key = Hashtbl.hash key mod Array.length t.shards
+
+let sink t ~shard = t.shards.(shard).sink
+
+let worker t sh () =
+  let rec loop () =
+    Mutex.lock sh.mu;
+    while t.running && Queue.is_empty sh.queue do
+      Condition.wait sh.cv sh.mu
+    done;
+    if Queue.is_empty sh.queue then begin
+      (* Shutdown: queue drained and [running] lowered. *)
+      Mutex.unlock sh.mu
+    end
+    else begin
+      let job = Queue.pop sh.queue in
+      sh.busy <- true;
+      Mutex.unlock sh.mu;
+      (try job ()
+       with _ ->
+         (* A job that escapes its own error handling must not kill the
+            shard; the daemon wraps command execution in its own
+            error-reply path, so this is a last-resort backstop. *)
+         Atomic.incr t.failures);
+      Mutex.lock sh.mu;
+      sh.busy <- false;
+      Condition.broadcast sh.cv;
+      Mutex.unlock sh.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(shards = 1) () =
+  let shards = max 1 shards in
+  let mk _ =
+    let sink = Telemetry.create () in
+    (* Absorbed sample rings land here; sized like the bench pool's
+       sinks so nothing ever drops (a drop would make the merged
+       multiset depend on which shard absorbed which session). *)
+    Telemetry.set_sample_capacity sink 65536;
+    {
+      mu = Mutex.create ();
+      cv = Condition.create ();
+      queue = Queue.create ();
+      busy = false;
+      sink;
+      domain = None;
+    }
+  in
+  let t =
+    {
+      shards = Array.init shards mk;
+      running = true;
+      failures = Atomic.make 0;
+    }
+  in
+  Array.iter
+    (fun sh -> sh.domain <- Some (Domain.spawn (worker t sh)))
+    t.shards;
+  t
+
+let post t ~key job =
+  let sh = t.shards.(shard_of t key) in
+  Mutex.lock sh.mu;
+  if not t.running then begin
+    Mutex.unlock sh.mu;
+    invalid_arg "Sched.post: pool is shut down"
+  end;
+  Queue.push job sh.queue;
+  Condition.broadcast sh.cv;
+  Mutex.unlock sh.mu
+
+let drain t =
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.mu;
+      while not (Queue.is_empty sh.queue) || sh.busy do
+        Condition.wait sh.cv sh.mu
+      done;
+      Mutex.unlock sh.mu)
+    t.shards
+
+let failures t = Atomic.get t.failures
+
+let merged_report t =
+  Telemetry.merge
+    (Array.to_list (Array.map (fun sh -> Telemetry.report sh.sink) t.shards))
+
+let shutdown t =
+  if t.running then begin
+    drain t;
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.mu;
+        t.running <- false;
+        Condition.broadcast sh.cv;
+        Mutex.unlock sh.mu)
+      t.shards;
+    Array.iter
+      (fun sh ->
+        match sh.domain with
+        | Some d ->
+          Domain.join d;
+          sh.domain <- None
+        | None -> ())
+      t.shards
+  end

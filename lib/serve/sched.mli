@@ -1,0 +1,47 @@
+(** N-domain session shard pool.
+
+    bench/pool.ml's per-domain commutative-sink pattern, promoted into
+    a reusable scheduler for the service daemon: sessions are hashed to
+    a shard by session id, every job posted under a key runs on that
+    shard's worker domain in post order (a session's commands stay
+    sequential; distinct sessions run in parallel), and long commands
+    achieve round-robin fairness by executing one fuel slice and
+    re-posting their continuation behind other sessions' queued work.
+
+    Each shard owns a telemetry sink registry; {!merged_report} folds
+    the sinks with the commutative {!Telemetry.merge}, so merged
+    telemetry is byte-identical for every shard count. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** Spawn [shards] worker domains (default 1, min 1). *)
+
+val shards : t -> int
+
+val shard_of : t -> string -> int
+(** Stable key → shard hash (same mapping for a given shard count on
+    every run). *)
+
+val post : t -> key:string -> (unit -> unit) -> unit
+(** Enqueue a job on [key]'s shard.  Jobs with the same key run in post
+    order, on the same domain.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val drain : t -> unit
+(** Block until every queue is empty and every worker idle — including
+    continuations the jobs re-post while draining. *)
+
+val sink : t -> shard:int -> Telemetry.t
+(** The shard's telemetry sink.  Only jobs running on that shard may
+    write to it; read it quiescently (after {!drain}). *)
+
+val merged_report : t -> Telemetry.report
+(** Commutative merge over the shard sinks. *)
+
+val failures : t -> int
+(** Jobs that escaped with an exception (backstop counter; the daemon
+    converts command errors to error replies before they get here). *)
+
+val shutdown : t -> unit
+(** {!drain}, then stop and join every worker.  Idempotent. *)

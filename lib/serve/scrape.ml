@@ -49,11 +49,20 @@ let http_response ~status ~content_type body =
     status content_type (String.length body) body
 
 let respond t conn =
-  (* Read until the blank line ending the request head (or the bounded
-     buffer fills): leaving request bytes unread would turn the close
-     below into a reset that can discard the in-flight response. *)
+  (* Read until the blank line ending the request head, the bounded
+     buffer fills, or an overall deadline passes: leaving request bytes
+     unread would turn the close below into a reset that can discard
+     the in-flight response, but an attacker must not be able to hold
+     the simulated run hostage either.  A head that never completes —
+     oversized (> buffer), stalled mid-line (slow-loris: SO_RCVTIMEO
+     fires), or out of deadline — is answered 400 and never dispatched;
+     a clean EOF after a complete first line (sloppy clients that skip
+     the blank line) is still served. *)
   let buf = Bytes.create 2048 in
   let filled = ref 0 in
+  let eof = ref false in
+  let stalled = ref false in
+  let deadline = Unix.gettimeofday () +. 1.0 in
   let head_done () =
     let s = Bytes.sub_string buf 0 !filled in
     let rec find i =
@@ -65,15 +74,14 @@ let respond t conn =
   (try
      while
        (not (head_done ()))
+       && (not !eof)
        && !filled < Bytes.length buf
-       &&
-       let k = Unix.read conn buf !filled (Bytes.length buf - !filled) in
-       filled := !filled + k;
-       k > 0
+       && Unix.gettimeofday () < deadline
      do
-       ()
+       let k = Unix.read conn buf !filled (Bytes.length buf - !filled) in
+       if k = 0 then eof := true else filled := !filled + k
      done
-   with _ -> ());
+   with _ -> stalled := true);
   let request = Bytes.sub_string buf 0 !filled in
   let first_line =
     match String.index_opt request '\r' with
@@ -83,8 +91,17 @@ let respond t conn =
       | Some i -> String.sub request 0 i
       | None -> request)
   in
+  let complete =
+    (* Dispatchable: terminated head, or clean EOF with at least a full
+       first line.  Everything else (buffer cap hit with no terminator,
+       read timeout, deadline) is a malformed or hostile request. *)
+    head_done ()
+    || (!eof && (not !stalled) && String.length first_line < !filled)
+  in
   let reply =
-    match String.split_on_char ' ' first_line with
+    match
+      if complete then String.split_on_char ' ' first_line else [ "" ]
+    with
     | [ "GET"; "/metrics"; _ ] ->
       http_response ~status:"200 OK"
         ~content_type:"text/plain; version=0.0.4; charset=utf-8"

@@ -10,7 +10,13 @@
     wire-endpoint skeleton the dbreakd service daemon grows from.
 
     Unknown paths get 404, [/] a small text index, malformed requests
-    400; every response closes the connection. *)
+    400; every response closes the connection.  A request head that
+    never completes is also 400, never dispatched: the head is capped
+    at 2 KiB, each read is bounded by a 0.5 s receive timeout, and the
+    whole head gets at most 1 s — so an oversized request line or a
+    slow-loris drip cannot hold the embedding run hostage, while
+    sloppy clients that close after the request line (no terminating
+    blank line) are still served. *)
 
 type t
 

@@ -46,6 +46,10 @@ type counter =
   (* Time-series sampler / heatmap (v5). *)
   | Store_execs
   | Samples_taken
+  (* Service daemon (v6). *)
+  | Sessions_open
+  | Commands_served
+  | Hits_streamed
 
 let all_counters =
   [
@@ -59,6 +63,7 @@ let all_counters =
     Checkpoints_taken; Checkpoint_pages_copied; Checkpoint_pages_shared;
     Checkpoint_bytes; Checkpoint_evictions; Restores; Replayed_instrs;
     Profiled_instrs; Prof_transfers; Store_execs; Samples_taken;
+    Sessions_open; Commands_served; Hits_streamed;
   ]
 
 let counter_name = function
@@ -100,6 +105,9 @@ let counter_name = function
   | Prof_transfers -> "prof_transfers"
   | Store_execs -> "store_execs"
   | Samples_taken -> "samples_taken"
+  | Sessions_open -> "sessions_open"
+  | Commands_served -> "commands_served"
+  | Hits_streamed -> "hits_streamed"
 
 let counter_index =
   let tbl = Hashtbl.create 32 in
@@ -318,7 +326,7 @@ let samples_dropped t = Ring.dropped t.sample_ring + t.sample_dropped_extra
 
 (* --- reports ----------------------------------------------------------------- *)
 
-let schema_version = "dbp-telemetry/5"
+let schema_version = "dbp-telemetry/6"
 
 type site_report = {
   sr_site : int;

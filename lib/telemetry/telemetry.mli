@@ -60,6 +60,10 @@ type counter =
                                 report time from the interpreter's stats; the
                                 heatmap conservation denominator) *)
   | Samples_taken           (** time-series samples recorded (v5) *)
+  | Sessions_open           (** daemon gauge: live debug sessions, set at
+                                report time (v6) *)
+  | Commands_served         (** daemon: wire commands dispatched (v6) *)
+  | Hits_streamed           (** daemon: async hit events streamed (v6) *)
 
 val all_counters : counter list
 (** Canonical order used by every report and export format. *)
@@ -219,15 +223,16 @@ val samples_dropped : t -> int
 (** {1 Reports} *)
 
 val schema_version : string
-(** ["dbp-telemetry/5"] — bumped on any layout change (v2 added the
+(** ["dbp-telemetry/6"] — bumped on any layout change (v2 added the
     per-site [patched] field and the [patched_check_execs] counter; v3
     the checkpoint/replay counters [checkpoints_taken],
     [checkpoint_pages_copied]/[_shared], [checkpoint_bytes],
     [checkpoint_evictions], [restores] and [replayed_instrs]; v4 the
     profiler counters [profiled_instrs]/[prof_transfers]; v5 the
     time-series sample ring [samples]/[sample_every]/[sample_metrics]/
-    [samples_dropped] and the [store_execs]/[samples_taken]
-    counters). *)
+    [samples_dropped] and the [store_execs]/[samples_taken] counters;
+    v6 the service-daemon gauges [sessions_open]/[commands_served]/
+    [hits_streamed]). *)
 
 type site_report = {
   sr_site : int;

@@ -367,7 +367,7 @@ let test_chrome_counters () =
 (* --- dbp-telemetry/4 ----------------------------------------------------------------- *)
 
 let test_telemetry_v4_counters () =
-  check_string "schema bumped" "dbp-telemetry/5" Telemetry.schema_version;
+  check_string "schema bumped" "dbp-telemetry/6" Telemetry.schema_version;
   let reg = Telemetry.create () in
   Telemetry.set reg Telemetry.Profiled_instrs 123;
   Telemetry.set reg Telemetry.Prof_transfers 7;
